@@ -1,0 +1,44 @@
+"""Section 5.6.1 — single-step inference latency for online deployment.
+
+The paper measures 0.370 +/- 0.001 ms per action on an NVIDIA K80 and
+compares it against the inter-packet delay distribution (Figure 11) to argue
+for the offline profile mode.  This benchmark measures the same quantity for
+the CPU implementation — both the bare policy forward pass and the full
+per-packet pipeline (state encoding + policy inference), which is what an
+inline transport-layer integration would actually pay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AdversarialFlowEnv
+
+
+def test_deployment_policy_inference_latency(benchmark, tor_suite):
+    agent = tor_suite.agents["DF"]
+    state = np.zeros(agent.config.state_dim)
+    result = benchmark(lambda: agent.actor.act(state, deterministic=True))
+    # The action must be immediately usable by the transport layer.
+    action, log_prob = agent.actor.act(state, deterministic=True)
+    assert action.shape == (2,)
+    assert np.isfinite(log_prob)
+
+
+def test_deployment_full_step_latency(benchmark, tor_suite):
+    """State encoding + inference + emulator step for one packet."""
+    agent = tor_suite.agents["DF"]
+    data = tor_suite.data
+    config = agent.config.with_overrides(reward_mask_rate=1.0, max_episode_steps=10_000)
+    flow = data.splits.test.censored_flows[0]
+    env = AdversarialFlowEnv(agent.censor, data.normalizer, config, [flow], rng=0)
+    env.reset()
+
+    def per_packet_step():
+        if env._done:
+            env.reset()
+        state = agent.encode_state(env)
+        action, _ = agent.actor.act(state, deterministic=True)
+        env.step(action)
+
+    benchmark(per_packet_step)

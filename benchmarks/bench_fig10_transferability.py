@@ -1,0 +1,46 @@
+"""Figure 10 — transferability of adversarial flows across censoring classifiers.
+
+Adversarial flows generated against each classifier are replayed against all
+others (without retraining).  The paper observes strong transfer between
+similar architectures (SDAE <-> DF, DT <-> RF).  Both dataset heatmaps are
+printed.  The benchmarked kernel is replaying one batch of adversarial flows
+against one target censor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import transferability_matrix
+
+
+def _matrix_for(suite):
+    adversarial = {
+        name: [r.adversarial_flow for r in report.results]
+        for name, report in suite.reports.items()
+    }
+    return transferability_matrix(adversarial, suite.censors)
+
+
+def test_fig10_transferability(benchmark, tor_suite, v2ray_suite):
+    print()
+    matrices = {}
+    for label, suite in (("Tor", tor_suite), ("V2Ray", v2ray_suite)):
+        matrix = _matrix_for(suite)
+        matrices[label] = matrix
+        print(f"Figure 10 ({label} dataset): transfer ASR heatmap")
+        print(matrix.format_table())
+        print(
+            f"  diagonal mean ASR = {matrix.diagonal_mean():.3f}, "
+            f"off-diagonal mean ASR = {matrix.off_diagonal_mean():.3f}"
+        )
+
+    # Shape check: flows optimised against a classifier evade it at least as
+    # well on average as they evade unrelated classifiers.
+    tor_matrix = matrices["Tor"]
+    assert tor_matrix.diagonal_mean() >= 0.5
+
+    # Kernel: replay the DF-agent's adversarial flows against the RF censor.
+    adversarial = [r.adversarial_flow for r in tor_suite.reports["DF"].results]
+    target = tor_suite.censors["RF"]
+    benchmark(lambda: target.classify_many(adversarial))

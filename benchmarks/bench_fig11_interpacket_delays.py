@@ -1,0 +1,80 @@
+"""Figure 11 — distribution of same-direction inter-packet delays.
+
+The paper measures the delay between consecutive packets in the same network
+direction to argue that per-packet online inference (0.37 ms on a K80) is too
+slow for a large fraction of packets (67.5 % of delays < 0.37 ms on their
+testbed).  This benchmark prints the distribution summary and the fraction of
+delays below two latencies measured on this CPU implementation: the bare
+policy forward pass and the full per-packet pipeline (state encoding +
+inference), which is what an inline deployment would actually pay.  The
+benchmarked kernel is computing the same-direction delay series of one flow.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import AdversarialFlowEnv
+from repro.eval import delay_distribution_summary, empirical_cdf, format_table, fraction_below
+
+
+def _measure(callable_, repeats=100):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        callable_()
+    return (time.perf_counter() - start) / repeats * 1000.0
+
+
+def test_fig11_interpacket_delays(benchmark, tor_suite):
+    flows = tor_suite.data.dataset.flows
+    delays = np.concatenate([flow.same_direction_delays() for flow in flows])
+    summary = delay_distribution_summary(delays)
+
+    # Latency of the bare policy forward pass (the paper's 0.37 ms quantity).
+    agent = tor_suite.agents["DF"]
+    state = np.zeros(agent.config.state_dim)
+    policy_ms = _measure(lambda: agent.actor.act(state, deterministic=True), repeats=200)
+
+    # Latency of the full per-packet pipeline: state encoding + inference + emulator.
+    config = agent.config.with_overrides(reward_mask_rate=1.0, max_episode_steps=100_000)
+    env = AdversarialFlowEnv(
+        agent.censor, tor_suite.data.normalizer, config, flows[:1], rng=0
+    )
+    env.reset()
+
+    def pipeline_step():
+        if env._done:
+            env.reset()
+        env.step(agent.actor.act(agent.encode_state(env), deterministic=True)[0])
+
+    pipeline_ms = _measure(pipeline_step, repeats=50)
+
+    ecdf = empirical_cdf(delays)
+    rows = [
+        {
+            "metric": "same-direction inter-packet delay [ms]",
+            "p25": summary["p25"],
+            "median": summary["median"],
+            "p75": summary["p75"],
+            "p95": summary["p95"],
+        }
+    ]
+    print()
+    print(format_table(rows, columns=["metric", "p25", "median", "p75", "p95"], title="Figure 11: delay distribution"))
+    print(f"  bare policy inference latency:      {policy_ms:.3f} ms")
+    print(f"  full per-packet pipeline latency:   {pipeline_ms:.3f} ms")
+    print(
+        "  fraction of same-direction delays below the policy / pipeline latency: "
+        f"{fraction_below(delays, policy_ms):.1%} / {fraction_below(delays, pipeline_ms):.1%} "
+        "(paper: 67.5% below 0.37 ms on GPU)"
+    )
+    print(f"  ECDF checkpoints: P(d<=1ms)={ecdf.evaluate(1.0):.2f}, P(d<=10ms)={ecdf.evaluate(10.0):.2f}")
+
+    # Shape check: a non-trivial fraction of packets arrive faster than the
+    # per-packet pipeline can run, motivating the offline profile mode.
+    assert fraction_below(delays, pipeline_ms) > 0.05
+
+    flow = flows[0]
+    benchmark(lambda: flow.same_direction_delays())

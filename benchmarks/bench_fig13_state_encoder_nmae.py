@@ -1,0 +1,59 @@
+"""Figure 13 — StateEncoder reconstruction error (NMAE) vs. flow length.
+
+The pre-trained Seq2Seq autoencoder is evaluated on synthetic flows of
+increasing length; the paper finds ~9 % NMAE up to ~40 packets, gradually
+rising for longer flows.  The benchmarked kernel is encoding one flow prefix
+with the trained StateEncoder (the operation the agent performs every step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import pretrain_state_encoder, reconstruction_nmae_by_length
+from repro.eval import format_series
+
+from conftest import SCALE
+
+LENGTHS = (1, 5, 10, 20, 30, 40, 50, 60)
+
+
+def test_fig13_state_encoder_nmae(benchmark):
+    if SCALE == "full":
+        hidden, flows, epochs = 128, 2000, 12
+    else:
+        hidden, flows, epochs = 48, 400, 8
+    encoder, autoencoder, log = pretrain_state_encoder(
+        hidden_size=hidden,
+        num_layers=2,
+        n_flows=flows,
+        max_length=max(LENGTHS),
+        epochs=epochs,
+        rng=0,
+    )
+    nmae = reconstruction_nmae_by_length(autoencoder, LENGTHS, n_flows=30, rng=1)
+
+    print()
+    print(
+        format_series(
+            "Figure 13: StateEncoder reconstruction NMAE vs flow length",
+            list(nmae.keys()),
+            list(nmae.values()),
+            x_name="flow length",
+            y_name="NMAE",
+        )
+    )
+    print(f"  final training MAE: {log.latest('reconstruction_mae'):.4f}")
+
+    # Shape checks: reconstruction error is finite everywhere, the encoder
+    # retains most of the information for short flows, and (as in the paper)
+    # very short flows are not reconstructed worse than the longest ones.
+    values = np.asarray(list(nmae.values()))
+    assert np.all(np.isfinite(values))
+    assert nmae[1] < 1.0
+    short = np.mean([nmae[length] for length in LENGTHS[:3]])
+    long = np.mean([nmae[length] for length in LENGTHS[-3:]])
+    assert short <= long * 2.0
+
+    pairs = np.random.default_rng(2).uniform(-1, 1, size=(30, 2))
+    benchmark(lambda: encoder.encode_pairs(pairs))

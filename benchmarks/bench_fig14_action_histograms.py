@@ -1,0 +1,53 @@
+"""Figure 14 — histograms of truncation / padding / delay actions per flow.
+
+Appendix A.5: adding delay is the least used action regardless of the
+censoring classifier, while truncation is used heavily (it is the only way to
+disturb directional features).  The benchmarked kernel is aggregating the
+action statistics of one report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.env import ActionKind
+from repro.eval import action_histogram, format_table, summarise_action_usage
+
+
+def test_fig14_action_histograms(benchmark, tor_suite):
+    rows = []
+    summaries = {}
+    for name, report in tor_suite.reports.items():
+        results = list(report.results)
+        summary = summarise_action_usage(results)
+        summaries[name] = summary
+        rows.append(
+            {
+                "censor": name,
+                "mean_truncations": summary[ActionKind.TRUNCATION],
+                "mean_paddings": summary[ActionKind.PADDING],
+                "mean_delays": summary[ActionKind.DELAY],
+                "mean_flow_length": summary["mean_original_length"],
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["censor", "mean_truncations", "mean_paddings", "mean_delays", "mean_flow_length"],
+            title="Figure 14: mean actions taken per adversarial flow (Tor dataset)",
+        )
+    )
+    histogram = action_histogram(list(tor_suite.reports["DF"].results), ActionKind.TRUNCATION, bins=8, max_count=40)
+    print(f"  DF truncation histogram counts: {histogram.counts.tolist()} (bins of width 5)")
+
+    # Shape check (paper): adding delay is the least-favoured action on average.
+    mean_delays = np.mean([s[ActionKind.DELAY] for s in summaries.values()])
+    mean_shaping = np.mean(
+        [s[ActionKind.TRUNCATION] + s[ActionKind.PADDING] for s in summaries.values()]
+    )
+    assert mean_delays <= mean_shaping
+
+    results = list(tor_suite.reports["DF"].results)
+    benchmark(lambda: summarise_action_usage(results))

@@ -1,0 +1,49 @@
+"""Figure 5 — ECDF of classification scores of adversarial flows vs. NN censors.
+
+The paper shows that adversarial flows do not hover near the 0.5 decision
+boundary: most scores are close to 1 (confidently benign), i.e. Amoeba finds
+the interior of the benign region, not its edge.  The benchmarked kernel is
+scoring a batch of adversarial flows with a neural censor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import empirical_cdf, format_series
+from repro.pipeline import NEURAL_CENSOR_NAMES
+
+
+def test_fig5_score_ecdf(benchmark, tor_suite, v2ray_suite):
+    print()
+    checkpoints = [0.25, 0.5, 0.75, 0.9]
+    confident_fractions = []
+    for label, suite in (("Tor", tor_suite), ("V2Ray", v2ray_suite)):
+        for name in NEURAL_CENSOR_NAMES:
+            censor = suite.censors[name]
+            adversarial = [r.adversarial_flow for r in suite.reports[name].results]
+            scores = censor.predict_scores(adversarial)
+            ecdf = empirical_cdf(scores)
+            series = [ecdf.evaluate(x) for x in checkpoints]
+            print(
+                format_series(
+                    f"Fig 5 [{label}/{name}] ECDF of adversarial scores",
+                    checkpoints,
+                    series,
+                    x_name="score",
+                    y_name="P(score <= x)",
+                )
+            )
+            successful = scores[scores >= 0.5]
+            if successful.size:
+                confident_fractions.append(float(np.mean(successful > 0.75)))
+
+    # Shape check: a meaningful share of successful adversarial flows is
+    # confidently benign (score > 0.75) rather than hugging the 0.5 boundary.
+    # At the reduced training scale this fraction is lower than the paper's
+    # near-1 concentration but must remain clearly non-zero.
+    assert np.mean(confident_fractions) >= 0.1
+
+    censor = tor_suite.censors["DF"]
+    adversarial = [r.adversarial_flow for r in tor_suite.reports["DF"].results]
+    benchmark(lambda: censor.predict_scores(adversarial))

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package required by PEP 517
+editable installs, so this legacy ``setup.py`` allows ``pip install -e .`` to
+fall back to the ``setup.py develop`` code path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""White-box benchmark attacks: CW, NIDSGAN and BAP (Section 5.2)."""
+
+from .bap import BAPAttack
+from .base import AttackReport, WhiteBoxAttack, split_size_delay
+from .cw import CWAttack
+from .nidsgan import NIDSGANAttack
+
+__all__ = [
+    "WhiteBoxAttack",
+    "AttackReport",
+    "split_size_delay",
+    "CWAttack",
+    "NIDSGANAttack",
+    "BAPAttack",
+]

@@ -1,0 +1,101 @@
+"""Blind Adversarial Perturbation (BAP) benchmark attack (Nasr et al., 2021).
+
+BAP learns *input-agnostic* ("blind") perturbations: a universal additive
+perturbation pattern plus a learned injection pattern that inserts dummy
+packets at fixed positions, which lets it disturb directional features —
+something per-packet additive perturbation alone cannot do.  The injection is
+modelled here by a second universal pattern applied to the tail positions of
+the representation (padding region of shorter flows), which is where inserted
+packets land in the fixed-length input layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..censors.base import CensorClassifier
+from ..flows.flow import Flow
+from ..utils.rng import ensure_rng
+from .base import WhiteBoxAttack, split_size_delay
+
+__all__ = ["BAPAttack"]
+
+
+class BAPAttack(WhiteBoxAttack):
+    """Universal (input-agnostic) adversarial perturbation attack."""
+
+    name = "BAP"
+
+    def __init__(
+        self,
+        censor: CensorClassifier,
+        epochs: int = 20,
+        batch_size: int = 16,
+        learning_rate: float = 0.05,
+        norm_penalty: float = 0.05,
+        injection_strength: float = 0.5,
+        rng=None,
+    ) -> None:
+        super().__init__(censor)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.norm_penalty = norm_penalty
+        self.injection_strength = injection_strength
+        self._rng = ensure_rng(rng)
+        self._perturbation: Optional[np.ndarray] = None
+        self._injection: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, flows: Sequence[Flow]) -> "BAPAttack":
+        """Learn the universal perturbation and injection patterns."""
+        inputs = self.censor.prepare_input(list(flows))
+        shape = inputs.shape[1:]
+        perturbation = nn.Parameter(np.zeros(shape), name="universal_perturbation")
+        injection = nn.Parameter(
+            self._rng.normal(0.0, 0.01, size=shape), name="universal_injection"
+        )
+        optimizer = nn.Adam([perturbation, injection], lr=self.learning_rate)
+
+        # Injection mask: positions where the original input is (near) zero,
+        # i.e. the padding region where "inserted" packets materialise.
+        n_samples = len(inputs)
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n_samples)
+            for start in range(0, n_samples, self.batch_size):
+                index = order[start : start + self.batch_size]
+                batch = inputs[index]
+                injection_mask = (np.abs(batch) < 1e-9).astype(np.float64)
+                adversarial = (
+                    nn.Tensor(batch)
+                    + perturbation
+                    + injection * nn.Tensor(injection_mask) * self.injection_strength
+                )
+                probability = self._benign_probability(adversarial).reshape(-1)
+                fool_loss = ((probability - 1.0) ** 2).mean()
+                norm_loss = (perturbation ** 2).mean() + (injection ** 2).mean()
+                loss = fool_loss + self.norm_penalty * norm_loss
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+        self._perturbation = perturbation.data.copy()
+        self._injection = injection.data.copy()
+        return self
+
+    def perturb(self, inputs: np.ndarray) -> np.ndarray:
+        if self._perturbation is None or self._injection is None:
+            raise RuntimeError("BAPAttack must be fit() before perturbing")
+        injection_mask = (np.abs(inputs) < 1e-9).astype(np.float64)
+        adversarial = (
+            inputs
+            + self._perturbation[None, ...]
+            + self._injection[None, ...] * injection_mask * self.injection_strength
+        )
+        size_mask, delay_mask = split_size_delay(inputs, self.censor)
+        adversarial[size_mask] = np.clip(adversarial[size_mask], -1.0, 1.0)
+        adversarial[delay_mask] = np.clip(adversarial[delay_mask], 0.0, 1.0)
+        return adversarial

@@ -1,0 +1,121 @@
+"""NIDSGAN benchmark attack (Zolbayar et al., 2022).
+
+NIDSGAN treats the censoring classifier as the discriminator of a GAN and
+trains a generator network to emit perturbations that flip the
+classification, with an L2 penalty keeping perturbations small.  Once
+trained, adversarial samples are produced in a single forward pass — no
+iterative optimisation per input — but the perturbation has the same length
+as the input flow, so directional features cannot be disturbed (the paper's
+stated limitation of this baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..censors.base import CensorClassifier
+from ..flows.flow import Flow
+from ..utils.rng import ensure_rng
+from .base import WhiteBoxAttack, split_size_delay
+
+__all__ = ["NIDSGANAttack"]
+
+
+class _Generator(nn.Module):
+    """MLP perturbation generator operating on flattened inputs."""
+
+    def __init__(self, input_dim: int, hidden: int = 64, rng=None) -> None:
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.body = nn.Sequential(
+            nn.Linear(input_dim, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden, input_dim, rng=rng),
+            nn.Tanh(),
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.body(x)
+
+
+class NIDSGANAttack(WhiteBoxAttack):
+    """Generator-based perturbation attack."""
+
+    name = "NIDSGAN"
+
+    def __init__(
+        self,
+        censor: CensorClassifier,
+        epochs: int = 10,
+        batch_size: int = 16,
+        learning_rate: float = 1e-3,
+        perturbation_scale: float = 0.3,
+        norm_penalty: float = 0.1,
+        hidden: int = 64,
+        rng=None,
+    ) -> None:
+        super().__init__(censor)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.perturbation_scale = perturbation_scale
+        self.norm_penalty = norm_penalty
+        self.hidden = hidden
+        self._rng = ensure_rng(rng)
+        self._generator: Optional[_Generator] = None
+        self._input_shape: Optional[tuple] = None
+
+    # ------------------------------------------------------------------ #
+    def _flatten(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def _unflatten(self, flat: np.ndarray) -> np.ndarray:
+        assert self._input_shape is not None
+        return flat.reshape((-1,) + self._input_shape)
+
+    def fit(self, flows: Sequence[Flow]) -> "NIDSGANAttack":
+        """Train the generator against the (frozen) censor on censored flows."""
+        inputs = self.censor.prepare_input(list(flows))
+        self._input_shape = inputs.shape[1:]
+        flat = self._flatten(inputs)
+        generator = _Generator(flat.shape[1], hidden=self.hidden, rng=self._rng)
+        optimizer = nn.Adam(generator.parameters(), lr=self.learning_rate)
+
+        n_samples = len(flat)
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n_samples)
+            for start in range(0, n_samples, self.batch_size):
+                index = order[start : start + self.batch_size]
+                batch = flat[index]
+                batch_tensor = nn.Tensor(batch)
+                perturbation = generator(batch_tensor) * self.perturbation_scale
+                adversarial_flat = batch_tensor + perturbation
+                adversarial = adversarial_flat.reshape((len(index),) + self._input_shape)
+                probability = self._benign_probability(adversarial).reshape(-1)
+                # The generator wants every sample classified benign (target 1).
+                fool_loss = ((probability - 1.0) ** 2).mean()
+                norm_loss = (perturbation ** 2).mean()
+                loss = fool_loss + self.norm_penalty * norm_loss
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        self._generator = generator
+        return self
+
+    def perturb(self, inputs: np.ndarray) -> np.ndarray:
+        if self._generator is None:
+            raise RuntimeError("NIDSGANAttack must be fit() before perturbing")
+        flat = self._flatten(inputs)
+        with nn.no_grad():
+            perturbation = self._generator(nn.Tensor(flat)).data * self.perturbation_scale
+        adversarial = flat + perturbation
+        adversarial = self._unflatten(adversarial)
+        size_mask, delay_mask = split_size_delay(inputs, self.censor)
+        adversarial[size_mask] = np.clip(adversarial[size_mask], -1.0, 1.0)
+        adversarial[delay_mask] = np.clip(adversarial[delay_mask], 0.0, 1.0)
+        return adversarial

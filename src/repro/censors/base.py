@@ -1,0 +1,114 @@
+"""Censoring-classifier interface.
+
+Every censor model — neural (DF, SDAE, LSTM), kernel (CUMUL/SVM) or
+tree-based (DT, RF) — implements the same small contract so the Amoeba
+environment, the white-box baselines and the evaluation harness can treat
+them interchangeably:
+
+* ``fit(flows, labels)`` trains on labelled flows;
+* ``predict_score(flow)`` returns the probability that the flow is **benign**
+  (class 1), matching the paper's decision function where a score below 0.5
+  means the flow is blocked;
+* ``classify(flow)`` applies the 0.5 threshold, returning 1 (allow) or
+  0 (block);
+* every scoring call increments ``query_count`` so experiments can reason
+  about the number of interactions with the censor (Figure 7).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..flows.flow import Flow, FlowLabel
+
+__all__ = ["CensorClassifier", "DECISION_THRESHOLD"]
+
+DECISION_THRESHOLD = 0.5
+
+
+class CensorClassifier(abc.ABC):
+    """Abstract base class for all censoring classifiers."""
+
+    #: short identifier used in tables and result dictionaries
+    name: str = "censor"
+    #: whether the model exposes gradients (needed by white-box attacks)
+    differentiable: bool = False
+
+    def __init__(self) -> None:
+        self._query_count = 0
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def fit(self, flows: Sequence[Flow], labels: Optional[Sequence[int]] = None) -> "CensorClassifier":
+        """Train the classifier on labelled flows.
+
+        ``labels`` defaults to each flow's own ``label`` attribute.
+        """
+
+    @staticmethod
+    def _resolve_labels(flows: Sequence[Flow], labels: Optional[Sequence[int]]) -> np.ndarray:
+        if labels is None:
+            labels = [flow.label for flow in flows]
+        labels = np.asarray(labels, dtype=int).reshape(-1)
+        if len(labels) != len(flows):
+            raise ValueError("labels and flows must have the same length")
+        if not np.all(np.isin(labels, [FlowLabel.CENSORED, FlowLabel.BENIGN])):
+            raise ValueError("labels must be 0 (censored) or 1 (benign)")
+        return labels
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name} has not been fitted")
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _score_flows(self, flows: Sequence[Flow]) -> np.ndarray:
+        """Return benign probabilities for ``flows`` without touching counters."""
+
+    def predict_scores(self, flows: Sequence[Flow]) -> np.ndarray:
+        """Benign probability per flow; increments the query counter."""
+        self._require_fitted()
+        flows = list(flows)
+        if not flows:
+            return np.array([])
+        self._query_count += len(flows)
+        scores = np.asarray(self._score_flows(flows), dtype=np.float64).reshape(-1)
+        if len(scores) != len(flows):
+            raise RuntimeError("classifier returned a wrong number of scores")
+        return np.clip(scores, 0.0, 1.0)
+
+    def predict_score(self, flow: Flow) -> float:
+        return float(self.predict_scores([flow])[0])
+
+    def classify(self, flow: Flow) -> int:
+        """Apply the paper's decision function C(y): 1 = allow, 0 = block."""
+        return int(self.predict_score(flow) >= DECISION_THRESHOLD)
+
+    def classify_many(self, flows: Sequence[Flow]) -> np.ndarray:
+        return (self.predict_scores(flows) >= DECISION_THRESHOLD).astype(int)
+
+    def predict_labels(self, flows: Sequence[Flow]) -> np.ndarray:
+        """Alias of :meth:`classify_many` (predicted FlowLabel values)."""
+        return self.classify_many(flows)
+
+    # ------------------------------------------------------------------ #
+    # Query accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def query_count(self) -> int:
+        """Number of flows scored since construction or the last reset."""
+        return self._query_count
+
+    def reset_query_count(self) -> None:
+        self._query_count = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, fitted={self._fitted})"

@@ -1,0 +1,122 @@
+"""Deep Fingerprinting (DF) censoring classifier.
+
+Sirinam et al. (CCS'18) introduced DF as a 1-D CNN over packet-direction
+sequences for website fingerprinting.  Following the paper, the classifier is
+tailored to consume the (signed size, delay) flow representation of Section 3
+instead of raw directions: the input is a two-channel sequence of length
+``max_length`` processed by stacked Conv1d + ReLU + MaxPool blocks and a
+dense head with a sigmoid output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..features.representation import SequenceRepresentation
+from ..flows.flow import Flow
+from ..utils.rng import ensure_rng
+from .base import CensorClassifier
+from .training import train_binary_classifier
+
+__all__ = ["DeepFingerprintingClassifier"]
+
+
+class _DFNetwork(nn.Module):
+    """Two convolutional blocks followed by a dense classification head."""
+
+    def __init__(self, max_length: int, channels: Sequence[int] = (16, 32), hidden: int = 64, rng=None) -> None:
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.conv1 = nn.Conv1d(2, channels[0], kernel_size=5, padding=2, rng=rng)
+        self.pool1 = nn.MaxPool1d(2)
+        self.conv2 = nn.Conv1d(channels[0], channels[1], kernel_size=5, padding=2, rng=rng)
+        self.pool2 = nn.MaxPool1d(2)
+        flattened = channels[1] * (max_length // 4)
+        self.fc1 = nn.Linear(flattened, hidden, rng=rng, initializer="kaiming")
+        self.fc2 = nn.Linear(hidden, 1, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.pool1(self.conv1(x).relu())
+        x = self.pool2(self.conv2(x).relu())
+        x = x.flatten()
+        x = self.fc1(x).relu()
+        return self.fc2(x)
+
+
+class DeepFingerprintingClassifier(CensorClassifier):
+    """CNN-based censor operating on the two-channel sequence representation."""
+
+    name = "DF"
+    differentiable = True
+
+    def __init__(
+        self,
+        representation: SequenceRepresentation,
+        epochs: int = 8,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        hidden: int = 64,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        self.representation = representation
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self._rng = ensure_rng(rng)
+        # Conv/pool stack needs a length divisible by 4; round the
+        # representation length down accordingly when building the network.
+        self._effective_length = (representation.max_length // 4) * 4
+        if self._effective_length < 4:
+            raise ValueError("max_length must be at least 4 for the DF classifier")
+        self.network = _DFNetwork(self._effective_length, hidden=hidden, rng=self._rng)
+
+    # ------------------------------------------------------------------ #
+    def _to_batch(self, flows: Sequence[Flow]) -> np.ndarray:
+        """(n, max_length, 2) -> (n, 2, effective_length) channel-first array."""
+        sequences = self.representation.transform_many(flows)
+        sequences = sequences[:, : self._effective_length, :]
+        return np.transpose(sequences, (0, 2, 1))
+
+    def _forward(self, batch: np.ndarray) -> nn.Tensor:
+        return self.network(nn.Tensor(batch))
+
+    def forward_tensor(self, batch: nn.Tensor) -> nn.Tensor:
+        """Differentiable forward pass on an already-built input tensor.
+
+        Exposed for the white-box baseline attacks (CW / NIDSGAN / BAP),
+        which need gradients with respect to the classifier input.  The input
+        layout is ``(batch, 2, effective_length)``.
+        """
+        return self.network(batch).sigmoid()
+
+    def prepare_input(self, flows: Sequence[Flow]) -> np.ndarray:
+        """Public helper returning the network input layout for ``flows``."""
+        return self._to_batch(flows)
+
+    # ------------------------------------------------------------------ #
+    def fit(self, flows: Sequence[Flow], labels: Optional[Sequence[int]] = None) -> "DeepFingerprintingClassifier":
+        flows = list(flows)
+        labels = self._resolve_labels(flows, labels)
+        inputs = self._to_batch(flows)
+        train_binary_classifier(
+            self.network,
+            self._forward,
+            inputs,
+            labels,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            rng=self._rng,
+        )
+        self._fitted = True
+        return self
+
+    def _score_flows(self, flows: Sequence[Flow]) -> np.ndarray:
+        batch = self._to_batch(flows)
+        with nn.no_grad():
+            logits = self.network(nn.Tensor(batch))
+        return 1.0 / (1.0 + np.exp(-logits.data.reshape(-1)))

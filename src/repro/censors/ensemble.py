@@ -1,0 +1,69 @@
+"""Ensemble censoring classifier.
+
+A natural censor hardening strategy (related to the transferability analysis
+of Figure 10) is to deploy several classifiers side by side and block a flow
+when enough of them flag it.  Because Amoeba only observes the combined
+decision, the ensemble is just another black-box censor to it — this class
+lets the transferability and arms-race experiments study how much an
+ensemble actually helps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..flows.flow import Flow
+from .base import CensorClassifier
+
+__all__ = ["EnsembleCensor"]
+
+
+class EnsembleCensor(CensorClassifier):
+    """Combine several censors by averaging or voting on their scores.
+
+    Parameters
+    ----------
+    members:
+        The constituent censors (fitted or not; ``fit`` trains all of them).
+    rule:
+        ``"mean"`` — average the members' benign probabilities (default);
+        ``"min"`` — a flow is only as benign as its most suspicious member
+        deems it (logical AND of permissiveness, the strictest censor);
+        ``"vote"`` — fraction of members that classify the flow as benign.
+    """
+
+    differentiable = False
+
+    def __init__(self, members: Sequence[CensorClassifier], rule: str = "mean", name: Optional[str] = None) -> None:
+        super().__init__()
+        members = list(members)
+        if not members:
+            raise ValueError("an ensemble needs at least one member censor")
+        if rule not in ("mean", "min", "vote"):
+            raise ValueError(f"unknown combination rule {rule!r}")
+        self.members = members
+        self.rule = rule
+        self.name = name or f"Ensemble[{'+'.join(m.name for m in members)}]"
+
+    def fit(self, flows: Sequence[Flow], labels: Optional[Sequence[int]] = None) -> "EnsembleCensor":
+        flows = list(flows)
+        labels = self._resolve_labels(flows, labels)
+        for member in self.members:
+            member.fit(flows, labels=labels)
+        self._fitted = True
+        return self
+
+    def _score_flows(self, flows: Sequence[Flow]) -> np.ndarray:
+        member_scores = np.vstack([member.predict_scores(flows) for member in self.members])
+        if self.rule == "mean":
+            return member_scores.mean(axis=0)
+        if self.rule == "min":
+            return member_scores.min(axis=0)
+        return (member_scores >= 0.5).mean(axis=0)
+
+    @property
+    def member_query_counts(self) -> dict:
+        """Query counters of the individual members (diagnostics)."""
+        return {member.name: member.query_count for member in self.members}

@@ -1,0 +1,83 @@
+"""Shared training loop for the neural censoring classifiers.
+
+DF, SDAE and the LSTM classifier are all trained as binary classifiers with a
+sigmoid output and binary cross-entropy on the (size, delay) sequence
+representation.  The loop here does mini-batch Adam with optional shuffling
+and early reporting; it is intentionally free of model-specific logic so each
+classifier only has to provide a ``forward`` that maps a batch array to
+logits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..utils.logging import TrainingLogger
+from ..utils.rng import ensure_rng
+
+__all__ = ["train_binary_classifier"]
+
+
+def train_binary_classifier(
+    model: nn.Module,
+    forward: Callable[[np.ndarray], nn.Tensor],
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    epochs: int = 10,
+    batch_size: int = 32,
+    learning_rate: float = 1e-3,
+    rng=None,
+    logger: Optional[TrainingLogger] = None,
+    max_grad_norm: float = 5.0,
+) -> TrainingLogger:
+    """Train ``model`` so that ``forward(batch)`` produces benign logits.
+
+    Parameters
+    ----------
+    model:
+        The module whose parameters are optimised.
+    forward:
+        Callable mapping a numpy batch to a Tensor of logits with shape
+        ``(batch,)`` or ``(batch, 1)``.
+    inputs:
+        Training inputs, first axis is the sample axis.
+    labels:
+        Binary labels (1 = benign).
+    """
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if len(inputs) != len(labels):
+        raise ValueError("inputs and labels must have the same length")
+    if len(inputs) == 0:
+        raise ValueError("cannot train on an empty dataset")
+    rng = ensure_rng(rng)
+    logger = logger or TrainingLogger("classifier-training")
+    optimizer = nn.Adam(model.parameters(), lr=learning_rate)
+
+    n_samples = len(inputs)
+    model.train()
+    for _ in range(epochs):
+        order = rng.permutation(n_samples)
+        for start in range(0, n_samples, batch_size):
+            batch_idx = order[start : start + batch_size]
+            batch_inputs = inputs[batch_idx]
+            batch_labels = labels[batch_idx]
+
+            logits = forward(batch_inputs)
+            logits = logits.reshape(-1)
+            loss = F.binary_cross_entropy_with_logits(logits, nn.Tensor(batch_labels))
+
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(model.parameters(), max_grad_norm)
+            optimizer.step()
+
+            with nn.no_grad():
+                predictions = (logits.data >= 0.0).astype(int)
+                accuracy = float(np.mean(predictions == batch_labels))
+            logger.log(loss=loss.item(), accuracy=accuracy)
+    model.eval()
+    return logger

@@ -1,0 +1,103 @@
+"""Tree-based censoring classifiers (Barradas et al., USENIX Sec'18).
+
+Decision trees and random forests over the 166 statistical flow features.
+These models have no gradients, which is exactly why black-box Amoeba is the
+only attack in the paper able to target them (Table 1 reports "N/A" for the
+white-box baselines against DT/RF/CUMUL).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..features.statistical import StatisticalFeatureExtractor
+from ..flows.flow import Flow
+from ..ml.decision_tree import DecisionTreeClassifier
+from ..ml.random_forest import RandomForestClassifier
+from ..utils.rng import ensure_rng
+from .base import CensorClassifier
+
+__all__ = ["DecisionTreeCensor", "RandomForestCensor"]
+
+
+class _FeatureBasedCensor(CensorClassifier):
+    """Shared plumbing for censors operating on the 166-feature vectors."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.extractor = StatisticalFeatureExtractor()
+        self.model = None
+
+    def _extract(self, flows: Sequence[Flow]) -> np.ndarray:
+        return self.extractor.extract_many(flows)
+
+    def fit(self, flows: Sequence[Flow], labels: Optional[Sequence[int]] = None):
+        flows = list(flows)
+        labels = self._resolve_labels(flows, labels)
+        self.model.fit(self._extract(flows), labels)
+        self._fitted = True
+        return self
+
+    def _score_flows(self, flows: Sequence[Flow]) -> np.ndarray:
+        features = self._extract(flows)
+        probabilities = self.model.predict_proba(features)
+        classes = list(self.model.classes_)
+        if 1 in classes:
+            return probabilities[:, classes.index(1)]
+        # Degenerate training set containing only censored flows.
+        return np.zeros(len(flows))
+
+    # ------------------------------------------------------------------ #
+    # Feature-importance analysis (Figure 4)
+    # ------------------------------------------------------------------ #
+    def top_feature_importances(self, top_k: int = 50) -> List[Tuple[str, str, float]]:
+        """Return (name, category, importance) of the top-k important features."""
+        self._require_fitted()
+        importances = self.model.feature_importances_
+        names = self.extractor.feature_names()
+        categories = self.extractor.feature_categories()
+        order = np.argsort(importances)[::-1][:top_k]
+        return [(names[i], categories[i], float(importances[i])) for i in order]
+
+    def importance_category_counts(self, top_k: int = 50) -> dict:
+        """Count packet vs. timing features among the top-k important ones."""
+        top = self.top_feature_importances(top_k)
+        return {
+            "packet": sum(1 for _, category, _ in top if category == "packet"),
+            "timing": sum(1 for _, category, _ in top if category == "timing"),
+        }
+
+
+class DecisionTreeCensor(_FeatureBasedCensor):
+    """Single CART decision tree over statistical features."""
+
+    name = "DT"
+
+    def __init__(self, max_depth: Optional[int] = 12, min_samples_split: int = 4, rng=None) -> None:
+        super().__init__()
+        self.model = DecisionTreeClassifier(
+            max_depth=max_depth, min_samples_split=min_samples_split, rng=ensure_rng(rng)
+        )
+
+
+class RandomForestCensor(_FeatureBasedCensor):
+    """Random forest over statistical features."""
+
+    name = "RF"
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: Optional[int] = 12,
+        min_samples_split: int = 4,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        self.model = RandomForestClassifier(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            rng=ensure_rng(rng),
+        )

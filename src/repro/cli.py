@@ -1,0 +1,170 @@
+"""Command-line interface for the Amoeba reproduction.
+
+Provides a small operational surface for users who want to run the system
+without writing Python:
+
+* ``repro-amoeba generate`` — synthesise a Tor or V2Ray dataset and write it
+  to JSONL;
+* ``repro-amoeba evaluate-censors`` — train the selected censors and report
+  detection accuracy/F1 on a held-out split;
+* ``repro-amoeba attack`` — train Amoeba against one censor and report
+  ASR / data overhead / time overhead (optionally saving the policy and the
+  adversarial flows);
+* ``repro-amoeba info`` — print the library version and experiment index.
+
+Examples
+--------
+::
+
+    repro-amoeba generate --dataset tor --flows 200 --output tor.jsonl
+    repro-amoeba evaluate-censors --dataset tor --censors DT RF DF
+    repro-amoeba attack --dataset tor --censor DF --timesteps 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .eval import format_table
+from .eval.metrics import classifier_detection_report
+from .flows import save_dataset, save_flows_jsonl
+from .pipeline import (
+    CENSOR_NAMES,
+    make_censor,
+    prepare_experiment_data,
+    train_amoeba,
+    train_censors,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-amoeba",
+        description="Amoeba (CoNEXT 2023) reproduction: adversarial RL against ML censorship.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="synthesise a dataset and write it to JSONL")
+    generate.add_argument("--dataset", choices=("tor", "v2ray"), default="tor")
+    generate.add_argument("--flows", type=int, default=200, help="flows per class")
+    generate.add_argument("--max-packets", type=int, default=60)
+    generate.add_argument("--drop-rate", type=float, default=0.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help="output JSONL path")
+
+    evaluate = subparsers.add_parser("evaluate-censors", help="train censors and report detection metrics")
+    evaluate.add_argument("--dataset", choices=("tor", "v2ray"), default="tor")
+    evaluate.add_argument("--flows", type=int, default=120)
+    evaluate.add_argument("--max-packets", type=int, default=40)
+    evaluate.add_argument("--censors", nargs="+", default=["DT", "RF"], choices=list(CENSOR_NAMES))
+    evaluate.add_argument("--epochs", type=int, default=8)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    attack = subparsers.add_parser("attack", help="train Amoeba against a censor and evaluate it")
+    attack.add_argument("--dataset", choices=("tor", "v2ray"), default="tor")
+    attack.add_argument("--flows", type=int, default=120)
+    attack.add_argument("--max-packets", type=int, default=40)
+    attack.add_argument("--censor", default="DT", choices=list(CENSOR_NAMES))
+    attack.add_argument("--timesteps", type=int, default=3000)
+    attack.add_argument("--eval-flows", type=int, default=20)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--save-policy", default=None, help="path to save the trained policy (.npz)")
+    attack.add_argument("--save-adversarial", default=None, help="path to save adversarial flows (JSONL)")
+
+    subparsers.add_parser("info", help="print version and experiment index")
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    data = prepare_experiment_data(
+        args.dataset,
+        n_censored=args.flows,
+        n_benign=args.flows,
+        max_packets=args.max_packets,
+        drop_rate=args.drop_rate,
+        rng=args.seed,
+    )
+    path = save_dataset(data.dataset, args.output)
+    print(f"wrote {len(data.dataset)} flows to {path}")
+    print(f"summary: {data.dataset.summary()}")
+    return 0
+
+
+def _command_evaluate_censors(args: argparse.Namespace) -> int:
+    data = prepare_experiment_data(
+        args.dataset, n_censored=args.flows, n_benign=args.flows, max_packets=args.max_packets, rng=args.seed
+    )
+    censors = train_censors(data, names=args.censors, rng=args.seed + 1, epochs=args.epochs)
+    rows = []
+    for name, censor in censors.items():
+        report = classifier_detection_report(censor, data.splits.test.flows)
+        rows.append({"censor": name, "accuracy": report["accuracy"], "f1": report["f1"]})
+    print(format_table(rows, columns=["censor", "accuracy", "f1"], title=f"Censor detection ({args.dataset})"))
+    return 0
+
+
+def _command_attack(args: argparse.Namespace) -> int:
+    data = prepare_experiment_data(
+        args.dataset, n_censored=args.flows, n_benign=args.flows, max_packets=args.max_packets, rng=args.seed
+    )
+    censor = make_censor(args.censor, data, rng=args.seed + 1)
+    censor.fit(data.splits.clf_train.flows)
+    baseline = classifier_detection_report(censor, data.splits.test.flows)
+    print(f"censor {args.censor}: accuracy={baseline['accuracy']:.3f} F1={baseline['f1']:.3f} (no attack)")
+
+    agent = train_amoeba(censor, data, total_timesteps=args.timesteps, rng=args.seed + 2)
+    report = agent.evaluate(data.splits.test.censored_flows[: args.eval_flows])
+    print(
+        format_table(
+            [
+                {
+                    "censor": args.censor,
+                    "asr": report.attack_success_rate,
+                    "data_overhead": report.data_overhead,
+                    "time_overhead": report.time_overhead,
+                    "training_queries": censor.query_count,
+                }
+            ],
+            columns=["censor", "asr", "data_overhead", "time_overhead", "training_queries"],
+            title=f"Amoeba vs {args.censor} ({args.dataset})",
+        )
+    )
+    if args.save_policy:
+        agent.save_policy(args.save_policy)
+        print(f"policy saved to {args.save_policy}")
+    if args.save_adversarial:
+        path = save_flows_jsonl([r.adversarial_flow for r in report.results], args.save_adversarial)
+        print(f"adversarial flows saved to {path}")
+    return 0
+
+
+def _command_info(_: argparse.Namespace) -> int:
+    print(f"repro {__version__} — reproduction of Amoeba (CoNEXT 2023)")
+    print("experiments: see DESIGN.md (per-experiment index) and EXPERIMENTS.md (paper vs measured)")
+    print(f"censoring classifiers: {', '.join(CENSOR_NAMES)}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "evaluate-censors": _command_evaluate_censors,
+        "attack": _command_attack,
+        "info": _command_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Gaussian-policy actor and value critic (Section 4.3).
+
+Both networks are MLPs over the fixed-size state produced by the
+StateEncoder.  The actor outputs the mean of a diagonal Gaussian over the two
+action components (normalised packet size and extra delay); the log standard
+deviation is a learned, state-independent parameter vector, which is the
+standard PPO continuous-control parameterisation and implements the paper's
+reparameterisation trick ``a = mean + eps * sigma``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..utils.rng import ensure_rng
+
+__all__ = ["GaussianActor", "Critic", "build_mlp"]
+
+
+def build_mlp(input_dim: int, hidden_dims: Sequence[int], output_dim: int, rng=None) -> nn.Sequential:
+    """Tanh MLP used for both the actor body and the critic."""
+    rng = ensure_rng(rng)
+    layers: List[nn.Module] = []
+    previous = input_dim
+    for width in hidden_dims:
+        layers.append(nn.Linear(previous, width, rng=rng))
+        layers.append(nn.Tanh())
+        previous = width
+    layers.append(nn.Linear(previous, output_dim, rng=rng))
+    return nn.Sequential(*layers)
+
+
+class GaussianActor(nn.Module):
+    """Diagonal-Gaussian policy over the (size, delay) action space."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int = 2,
+        hidden_dims: Sequence[int] = (64, 32),
+        initial_log_std: float = -0.5,
+        initial_action_bias: Optional[Sequence[float]] = None,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self._rng = ensure_rng(rng)
+        self.body = build_mlp(state_dim, hidden_dims, action_dim, rng=self._rng)
+        if initial_action_bias is not None:
+            bias = np.asarray(initial_action_bias, dtype=np.float64)
+            if bias.shape != (action_dim,):
+                raise ValueError(f"initial_action_bias must have shape ({action_dim},)")
+            # The last Linear in the body holds the output bias.
+            output_layer = self.body[len(self.body) - 1]
+            output_layer.bias.data = bias.copy()
+        self.log_std = nn.Parameter(np.full(action_dim, float(initial_log_std)), name="log_std")
+
+    # ------------------------------------------------------------------ #
+    def forward(self, states: nn.Tensor) -> Tuple[nn.Tensor, nn.Tensor]:
+        """Return (mean, log_std) for a batch of states."""
+        mean = self.body(states)
+        return mean, self.log_std
+
+    def act(self, state: np.ndarray, deterministic: bool = False) -> Tuple[np.ndarray, float]:
+        """Sample an action for a single state; returns (action, log_prob)."""
+        state = np.asarray(state, dtype=np.float64).reshape(1, -1)
+        with nn.no_grad():
+            mean, log_std = self.forward(nn.Tensor(state))
+        mean = mean.data[0]
+        std = np.exp(log_std.data)
+        if deterministic:
+            action = mean.copy()
+        else:
+            action = mean + self._rng.normal(size=self.action_dim) * std
+        log_prob = float(
+            np.sum(
+                -0.5 * ((action - mean) / std) ** 2
+                - np.log(std)
+                - 0.5 * np.log(2.0 * np.pi)
+            )
+        )
+        return action, log_prob
+
+    def log_prob_and_entropy(self, states: nn.Tensor, actions: np.ndarray) -> Tuple[nn.Tensor, nn.Tensor]:
+        """Differentiable log-probabilities of ``actions`` and policy entropy."""
+        mean, log_std = self.forward(states)
+        log_probs = F.gaussian_log_prob(nn.Tensor(actions), mean, log_std)
+        entropy = F.gaussian_entropy(log_std)
+        return log_probs, entropy
+
+
+class Critic(nn.Module):
+    """State-value function approximator."""
+
+    def __init__(self, state_dim: int, hidden_dims: Sequence[int] = (64, 32), rng=None) -> None:
+        super().__init__()
+        self.body = build_mlp(state_dim, hidden_dims, 1, rng=ensure_rng(rng))
+
+    def forward(self, states: nn.Tensor) -> nn.Tensor:
+        return self.body(states).reshape(-1)
+
+    def value(self, state: np.ndarray) -> float:
+        """Value estimate of a single state (no gradient)."""
+        state = np.asarray(state, dtype=np.float64).reshape(1, -1)
+        with nn.no_grad():
+            value = self.forward(nn.Tensor(state))
+        return float(value.data[0])

@@ -1,0 +1,338 @@
+"""The Amoeba agent: training facade tying together environment, encoder,
+actor-critic and PPO (Figure 3 / Algorithm 1 of the paper).
+
+Typical usage::
+
+    censor = DeepFingerprintingClassifier(representation).fit(clf_train.flows)
+    agent = Amoeba(censor, normalizer, AmoebaConfig.for_tor(), rng=0)
+    agent.train(attack_train.censored_flows, total_timesteps=20_000)
+    report = agent.evaluate(test.censored_flows)
+    print(report.attack_success_rate, report.data_overhead, report.time_overhead)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..censors.base import CensorClassifier
+from ..features.representation import FlowNormalizer
+from ..flows.flow import Flow, FlowLabel
+from ..nn.serialization import load_state_dict, save_state_dict
+from ..utils.logging import TrainingLogger
+from ..utils.rng import ensure_rng, spawn_rngs
+from .actor_critic import Critic, GaussianActor
+from .config import AmoebaConfig
+from .env import ActionKind, AdversarialFlowEnv, EpisodeSummary
+from .ppo import PPOUpdater
+from .rollout import RolloutBuffer
+from .state_encoder import StateEncoder, pretrain_state_encoder
+
+__all__ = ["Amoeba", "AdversarialResult", "EvaluationReport"]
+
+
+@dataclass(frozen=True)
+class AdversarialResult:
+    """Outcome of attacking one flow."""
+
+    original_flow: Flow
+    adversarial_flow: Flow
+    success: bool
+    final_score: float
+    data_overhead: float
+    time_overhead: float
+    action_counts: Dict[str, int]
+    n_steps: int
+
+    @classmethod
+    def from_summary(cls, summary: EpisodeSummary) -> "AdversarialResult":
+        return cls(
+            original_flow=summary.original_flow,
+            adversarial_flow=summary.adversarial_flow,
+            success=summary.success,
+            final_score=summary.final_score,
+            data_overhead=summary.data_overhead,
+            time_overhead=summary.time_overhead,
+            action_counts=summary.action_counts(),
+            n_steps=summary.n_steps,
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Aggregate attack metrics over a set of flows (Table 1 columns)."""
+
+    attack_success_rate: float
+    data_overhead: float
+    time_overhead: float
+    n_flows: int
+    results: Tuple[AdversarialResult, ...] = field(repr=False, default=())
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "asr": self.attack_success_rate,
+            "data_overhead": self.data_overhead,
+            "time_overhead": self.time_overhead,
+            "n_flows": float(self.n_flows),
+        }
+
+
+class Amoeba:
+    """Black-box adversarial reinforcement-learning agent.
+
+    Parameters
+    ----------
+    censor:
+        The trained censoring classifier being attacked (only its decisions
+        are observed — the black-box threat model of Section 2).
+    normalizer:
+        Size/delay normalisation shared with the censor's representation.
+    config:
+        :class:`AmoebaConfig`; defaults to :meth:`AmoebaConfig.for_tor`.
+    state_encoder:
+        Optional pre-trained :class:`StateEncoder`; when omitted one is
+        pre-trained on synthetic flows (Algorithm 2) at construction time.
+    """
+
+    def __init__(
+        self,
+        censor: CensorClassifier,
+        normalizer: FlowNormalizer,
+        config: Optional[AmoebaConfig] = None,
+        rng=None,
+        state_encoder: Optional[StateEncoder] = None,
+        encoder_pretrain_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.censor = censor
+        self.normalizer = normalizer
+        self.config = config or AmoebaConfig.for_tor()
+        self._rng = ensure_rng(rng)
+
+        if state_encoder is None:
+            pretrain_kwargs = dict(
+                hidden_size=self.config.encoder_hidden,
+                num_layers=self.config.encoder_layers,
+                n_flows=120,
+                max_length=40,
+                epochs=2,
+                rng=self._rng,
+            )
+            pretrain_kwargs.update(encoder_pretrain_kwargs or {})
+            state_encoder, _, _ = pretrain_state_encoder(**pretrain_kwargs)
+        self.state_encoder = state_encoder
+        if self.state_encoder.hidden_size != self.config.encoder_hidden:
+            # Keep the configuration honest when a custom encoder is provided.
+            self.config = self.config.with_overrides(encoder_hidden=self.state_encoder.hidden_size)
+
+        actor_rng, critic_rng, ppo_rng = spawn_rngs(self._rng, 3)
+        self.actor = GaussianActor(
+            state_dim=self.config.state_dim,
+            hidden_dims=self.config.actor_hidden,
+            initial_log_std=self.config.initial_log_std,
+            initial_action_bias=self.config.initial_action_bias,
+            rng=actor_rng,
+        )
+        self.critic = Critic(self.config.state_dim, hidden_dims=self.config.critic_hidden, rng=critic_rng)
+        self.updater = PPOUpdater(self.actor, self.critic, self.config, rng=ppo_rng)
+
+        self.training_log = TrainingLogger("amoeba")
+        self._episode_successes: List[bool] = []
+        self._timesteps_trained = 0
+
+    # ------------------------------------------------------------------ #
+    # State construction: s_t = E(x_1:t) || E(a_1:t)
+    # ------------------------------------------------------------------ #
+    def encode_state(self, env: AdversarialFlowEnv) -> np.ndarray:
+        observation_code = self.state_encoder.encode_pairs(env.observation_history())
+        action_code = self.state_encoder.encode_pairs(env.action_history())
+        return np.concatenate([observation_code, action_code])
+
+    # ------------------------------------------------------------------ #
+    # Training (Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def _filter_censored(self, flows: Sequence[Flow]) -> List[Flow]:
+        censored = [flow for flow in flows if flow.label == FlowLabel.CENSORED]
+        if not censored:
+            raise ValueError("no censored flows provided to train the attack on")
+        return censored
+
+    def _make_envs(self, flows: Sequence[Flow], n_envs: int) -> List[AdversarialFlowEnv]:
+        env_rngs = spawn_rngs(self._rng, n_envs)
+        return [
+            AdversarialFlowEnv(self.censor, self.normalizer, self.config, flows, rng=env_rng)
+            for env_rng in env_rngs
+        ]
+
+    def train(
+        self,
+        flows: Sequence[Flow],
+        total_timesteps: int = 10_000,
+        eval_flows: Optional[Sequence[Flow]] = None,
+        eval_every: Optional[int] = None,
+        eval_size: int = 20,
+        callback: Optional[Callable[[Dict], None]] = None,
+    ) -> TrainingLogger:
+        """Train the policy against the censor on the given censored flows.
+
+        ``eval_flows``/``eval_every`` enable periodic held-out evaluation so
+        convergence curves (Figures 7 and 9) can be reproduced; each record in
+        the training log also stores the censor query count at that point.
+        """
+        if total_timesteps < 1:
+            raise ValueError("total_timesteps must be >= 1")
+        flows = self._filter_censored(flows)
+        config = self.config
+        envs = self._make_envs(flows, config.n_envs)
+        buffer = RolloutBuffer(
+            config.rollout_length, config.n_envs, config.state_dim, self.actor.action_dim
+        )
+
+        for env in envs:
+            env.reset()
+        states = np.stack([self.encode_state(env) for env in envs])
+
+        steps_done = 0
+        while steps_done < total_timesteps:
+            buffer.reset()
+            recent_summaries: List[EpisodeSummary] = []
+            while not buffer.full:
+                actions = np.zeros((config.n_envs, self.actor.action_dim))
+                log_probs = np.zeros(config.n_envs)
+                values = np.zeros(config.n_envs)
+                rewards = np.zeros(config.n_envs)
+                dones = np.zeros(config.n_envs, dtype=bool)
+                next_states = np.zeros_like(states)
+
+                for index, env in enumerate(envs):
+                    action, log_prob = self.actor.act(states[index])
+                    value = self.critic.value(states[index])
+                    _, reward, done, info = env.step(action)
+                    actions[index] = action
+                    log_probs[index] = log_prob
+                    values[index] = value
+                    rewards[index] = reward
+                    dones[index] = done
+                    if done:
+                        summary: EpisodeSummary = info["episode"]
+                        recent_summaries.append(summary)
+                        self._episode_successes.append(summary.success)
+                        env.reset()
+                    next_states[index] = self.encode_state(env)
+
+                buffer.add(states, actions, log_probs, rewards, values, dones)
+                states = next_states
+                steps_done += config.n_envs
+
+            last_values = np.asarray([self.critic.value(state) for state in states])
+            buffer.finalize(last_values, config.gamma, config.gae_lambda)
+            stats = self.updater.update(buffer)
+            self._timesteps_trained += config.rollout_length * config.n_envs
+
+            window = self._episode_successes[-50:]
+            train_asr = float(np.mean(window)) if window else 0.0
+            record = {
+                "timesteps": float(self._timesteps_trained),
+                "queries": float(self.censor.query_count),
+                "train_asr": train_asr,
+                "mean_reward": float(buffer.rewards.mean()),
+                "policy_loss": stats.policy_loss,
+                "value_loss": stats.value_loss,
+                "entropy": stats.entropy,
+            }
+            if (
+                eval_flows is not None
+                and eval_every is not None
+                and (self._timesteps_trained // (config.rollout_length * config.n_envs))
+                % max(1, eval_every)
+                == 0
+            ):
+                sample = list(eval_flows)[:eval_size]
+                report = self.evaluate(sample)
+                record["test_asr"] = report.attack_success_rate
+            self.training_log.log(**record)
+            if callback is not None:
+                callback(record)
+
+        return self.training_log
+
+    # ------------------------------------------------------------------ #
+    # Attack / evaluation
+    # ------------------------------------------------------------------ #
+    def attack(self, flow: Flow, deterministic: bool = True) -> AdversarialResult:
+        """Generate the adversarial version of a single flow."""
+        # During evaluation we do not need per-step rewards; masking every
+        # step avoids spending censor queries on intermediate prefixes (the
+        # final classification in the episode summary is still performed).
+        # The step budget is widened so the full payload is always delivered
+        # regardless of the training-time episode cap (constraint (1)).
+        step_budget = max(
+            self.config.max_episode_steps,
+            flow.n_packets * (1 + self.config.max_truncations_per_packet),
+        )
+        eval_config = self.config.with_overrides(
+            reward_mask_rate=1.0, max_episode_steps=step_budget
+        )
+        env = AdversarialFlowEnv(self.censor, self.normalizer, eval_config, [flow], rng=self._rng)
+        env.reset(flow)
+        done = False
+        while not done:
+            state = self.encode_state(env)
+            action, _ = self.actor.act(state, deterministic=deterministic)
+            _, _, done, info = env.step(action)
+        summary: EpisodeSummary = info["episode"]
+        return AdversarialResult.from_summary(summary)
+
+    def attack_many(self, flows: Sequence[Flow], deterministic: bool = True) -> List[AdversarialResult]:
+        return [self.attack(flow, deterministic=deterministic) for flow in flows]
+
+    def evaluate(self, flows: Sequence[Flow], deterministic: bool = True) -> EvaluationReport:
+        """Attack every flow and aggregate ASR / data overhead / time overhead."""
+        flows = list(flows)
+        if not flows:
+            raise ValueError("cannot evaluate on an empty flow list")
+        results = self.attack_many(flows, deterministic=deterministic)
+        return EvaluationReport(
+            attack_success_rate=float(np.mean([r.success for r in results])),
+            data_overhead=float(np.mean([r.data_overhead for r in results])),
+            time_overhead=float(np.mean([r.time_overhead for r in results])),
+            n_flows=len(results),
+            results=tuple(results),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save_policy(self, path) -> None:
+        """Persist actor, critic and state-encoder parameters."""
+        state = {}
+        for prefix, module in (
+            ("actor", self.actor),
+            ("critic", self.critic),
+            ("encoder", self.state_encoder),
+        ):
+            for name, value in module.state_dict().items():
+                state[f"{prefix}.{name}"] = value
+        save_state_dict(state, path, metadata={"timesteps_trained": self._timesteps_trained})
+
+    def load_policy(self, path) -> None:
+        """Load parameters saved by :meth:`save_policy`."""
+        state = load_state_dict(path)
+        for prefix, module in (
+            ("actor", self.actor),
+            ("critic", self.critic),
+            ("encoder", self.state_encoder),
+        ):
+            module.load_state_dict(
+                {
+                    name[len(prefix) + 1 :]: value
+                    for name, value in state.items()
+                    if name.startswith(f"{prefix}.")
+                }
+            )
+
+    @property
+    def timesteps_trained(self) -> int:
+        return self._timesteps_trained

@@ -1,0 +1,370 @@
+"""Adversarial network environment: transport-layer emulator + reward function.
+
+This module implements Section 4.2 of the paper.  The environment reads
+payload-sized "packets" from the original (censored) flow as a transport
+layer would, hands them to the agent as observations, and turns the agent's
+actions into adversarial packets:
+
+* **truncation** — the adversarial packet is smaller than the remaining
+  payload, so the remainder is re-offered as the next observation;
+* **padding** — the adversarial packet is at least as large as the remaining
+  payload; the excess bytes are dummy padding and the emulator moves on to
+  the next original packet;
+* **delay** — every action may add extra delay on top of the original
+  inter-packet delay, satisfying constraint (2) by construction.
+
+The payload constraint (1) is satisfied *by design*: a packet's payload is
+only considered sent once the cumulative adversarial bytes cover it.
+
+The reward combines the censor's decision on the adversarial prefix with the
+data-overhead and time-overhead penalties:
+
+    r(s_t, a_t) = r_adv − λ_d · p_data − λ_t · p_time.
+
+Reward masking (Section 5.5.3) replaces ``r_adv`` with an "unknown" value
+(0.5) with a configurable probability; masked steps do not query the censor,
+which is how the paper counts "actual queries" in Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..censors.base import CensorClassifier
+from ..features.representation import FlowNormalizer
+from ..flows.flow import Flow, FlowLabel
+from ..utils.rng import ensure_rng
+from .config import AmoebaConfig
+
+__all__ = ["AdversarialFlowEnv", "EpisodeSummary", "ActionKind"]
+
+
+class ActionKind:
+    """Labels for the per-step action analysis of Figure 14."""
+
+    TRUNCATION = "truncation"
+    PADDING = "padding"
+    DELAY = "delay"
+
+
+@dataclass
+class EpisodeSummary:
+    """Statistics of one finished episode (one adversarial flow)."""
+
+    adversarial_flow: Flow
+    original_flow: Flow
+    success: bool
+    final_score: float
+    data_overhead: float
+    time_overhead: float
+    n_truncations: int
+    n_paddings: int
+    n_delays: int
+    n_steps: int
+    episode_reward: float
+
+    def action_counts(self) -> Dict[str, int]:
+        return {
+            ActionKind.TRUNCATION: self.n_truncations,
+            ActionKind.PADDING: self.n_paddings,
+            ActionKind.DELAY: self.n_delays,
+        }
+
+
+class AdversarialFlowEnv:
+    """Single-flow adversarial sequence-generation environment.
+
+    Parameters
+    ----------
+    censor:
+        Trained censoring classifier providing the (possibly masked) reward.
+    normalizer:
+        Maps between bytes/milliseconds and the normalised action space.
+    config:
+        :class:`AmoebaConfig` with reward coefficients and action bounds.
+    flows:
+        Pool of original (censored) flows; each ``reset`` picks the next one.
+    rng:
+        Seed or generator (flow order, reward masking).
+    """
+
+    def __init__(
+        self,
+        censor: CensorClassifier,
+        normalizer: FlowNormalizer,
+        config: AmoebaConfig,
+        flows: Sequence[Flow],
+        rng=None,
+    ) -> None:
+        if not flows:
+            raise ValueError("the environment needs at least one flow to attack")
+        self.censor = censor
+        self.normalizer = normalizer
+        self.config = config
+        self._flows = list(flows)
+        self._rng = ensure_rng(rng)
+        self._flow_order: List[int] = []
+        self._flow_cursor = 0
+
+        # Episode state, initialised by reset().
+        self._original: Optional[Flow] = None
+        self._packet_index = 0
+        self._remaining_bytes = 0.0
+        self._truncations_current_packet = 0
+        self._adversarial_sizes: List[float] = []
+        self._adversarial_delays: List[float] = []
+        self._observation_history: List[np.ndarray] = []
+        self._action_history: List[np.ndarray] = []
+        self._added_delay_total = 0.0
+        self._consumed_payload = 0.0
+        self._n_truncations = 0
+        self._n_paddings = 0
+        self._n_delays = 0
+        self._episode_reward = 0.0
+        self._steps = 0
+        self._done = True
+        self.last_summary: Optional[EpisodeSummary] = None
+
+    # ------------------------------------------------------------------ #
+    # Flow pool management
+    # ------------------------------------------------------------------ #
+    def _next_flow(self) -> Flow:
+        if self._flow_cursor >= len(self._flow_order):
+            self._flow_order = self._rng.permutation(len(self._flows)).tolist()
+            self._flow_cursor = 0
+        flow = self._flows[self._flow_order[self._flow_cursor]]
+        self._flow_cursor += 1
+        return flow
+
+    # ------------------------------------------------------------------ #
+    # Observation helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def observation_dim(self) -> int:
+        return 2
+
+    @property
+    def action_dim(self) -> int:
+        return 2
+
+    def _current_direction(self) -> float:
+        assert self._original is not None
+        return float(np.sign(self._original.sizes[self._packet_index]))
+
+    def _current_base_delay(self) -> float:
+        """Original delay of the current packet, only for its first sub-packet."""
+        assert self._original is not None
+        if self._truncations_current_packet > 0:
+            return 0.0
+        return float(self._original.delays[self._packet_index])
+
+    def _make_observation(self) -> np.ndarray:
+        direction = self._current_direction()
+        size_norm = np.clip(
+            direction * self._remaining_bytes / self.normalizer.size_scale, -1.0, 1.0
+        )
+        delay_norm = np.clip(self._current_base_delay() / self.config.max_delay_ms, 0.0, 1.0)
+        return np.asarray([size_norm, delay_norm], dtype=np.float64)
+
+    def observation_history(self) -> np.ndarray:
+        """All observations of the current episode as an (t, 2) array."""
+        if not self._observation_history:
+            return np.zeros((0, 2))
+        return np.vstack(self._observation_history)
+
+    def action_history(self) -> np.ndarray:
+        """All normalised actions of the current episode as a (t-1, 2) array."""
+        if not self._action_history:
+            return np.zeros((0, 2))
+        return np.vstack(self._action_history)
+
+    # ------------------------------------------------------------------ #
+    # Gym-style API
+    # ------------------------------------------------------------------ #
+    def reset(self, flow: Optional[Flow] = None) -> np.ndarray:
+        """Start a new episode, optionally on a caller-provided flow."""
+        self._original = (flow or self._next_flow()).copy()
+        self._packet_index = 0
+        self._remaining_bytes = float(abs(self._original.sizes[0]))
+        self._truncations_current_packet = 0
+        self._adversarial_sizes = []
+        self._adversarial_delays = []
+        self._observation_history = []
+        self._action_history = []
+        self._added_delay_total = 0.0
+        self._consumed_payload = 0.0
+        self._n_truncations = 0
+        self._n_paddings = 0
+        self._n_delays = 0
+        self._episode_reward = 0.0
+        self._steps = 0
+        self._done = False
+        observation = self._make_observation()
+        self._observation_history.append(observation)
+        return observation
+
+    def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict]:
+        """Apply an action (normalised size, normalised extra delay)."""
+        if self._done:
+            raise RuntimeError("step() called on a finished episode; call reset() first")
+        assert self._original is not None
+        action = np.asarray(action, dtype=np.float64).reshape(-1)
+        if action.shape[0] != 2:
+            raise ValueError(f"action must have 2 components, got {action.shape}")
+
+        size_action = float(np.clip(action[0], -1.0, 1.0))
+        delay_action = float(np.clip(action[1], 0.0, 1.0))
+
+        direction = self._current_direction()
+        requested_bytes = abs(int(size_action * self.normalizer.size_scale))
+        requested_bytes = max(self.config.min_packet_bytes, requested_bytes)
+        added_delay = float(int(delay_action * self.config.max_delay_ms))
+        base_delay = self._current_base_delay()
+        emitted_delay = base_delay + added_delay
+
+        force_close = (
+            self._truncations_current_packet >= self.config.max_truncations_per_packet
+            or self._steps + 1 >= self.config.max_episode_steps
+        )
+        is_truncation = requested_bytes < self._remaining_bytes and not force_close
+
+        size_scale = self.normalizer.size_scale
+        if is_truncation:
+            emitted_bytes = requested_bytes
+            self._remaining_bytes -= emitted_bytes
+            self._consumed_payload += emitted_bytes
+            self._truncations_current_packet += 1
+            self._n_truncations += 1
+            data_penalty = (
+                self._remaining_bytes / size_scale
+                + self.config.lambda_split * self._truncations_current_packet
+            )
+            action_kind = ActionKind.TRUNCATION
+        else:
+            emitted_bytes = max(requested_bytes, int(np.ceil(self._remaining_bytes)))
+            padding_bytes = emitted_bytes - self._remaining_bytes
+            self._consumed_payload += self._remaining_bytes
+            data_penalty = padding_bytes / size_scale
+            if padding_bytes > 0:
+                self._n_paddings += 1
+                action_kind = ActionKind.PADDING
+            else:
+                action_kind = "exact"
+            self._remaining_bytes = 0.0
+
+        if added_delay >= 1.0:
+            self._n_delays += 1
+
+        # Record the emitted adversarial packet.
+        self._adversarial_sizes.append(direction * emitted_bytes)
+        self._adversarial_delays.append(emitted_delay)
+        self._added_delay_total += added_delay
+        self._action_history.append(
+            np.asarray(
+                [
+                    np.clip(direction * emitted_bytes / size_scale, -1.0, 1.0),
+                    np.clip(emitted_delay / self.config.max_delay_ms, 0.0, 1.0),
+                ]
+            )
+        )
+        self._steps += 1
+
+        # Adversarial reward: the censor classifies the prefix generated so far.
+        masked = (
+            self.config.reward_mask_rate > 0.0
+            and self._rng.random() < self.config.reward_mask_rate
+        )
+        if masked:
+            adversarial_reward = self.config.masked_reward_value
+            score = float("nan")
+        else:
+            prefix = self._current_adversarial_flow()
+            score = self.censor.predict_score(prefix)
+            adversarial_reward = 1.0 if score >= 0.5 else 0.0
+
+        time_penalty = delay_action  # already normalised by max_delay
+        reward = (
+            adversarial_reward
+            - self.config.lambda_data * data_penalty
+            - self.config.lambda_time * time_penalty
+        )
+        self._episode_reward += reward
+
+        # Advance the emulator.
+        done = False
+        if self._remaining_bytes <= 0:
+            self._packet_index += 1
+            self._truncations_current_packet = 0
+            if self._packet_index >= self._original.n_packets:
+                done = True
+            else:
+                self._remaining_bytes = float(abs(self._original.sizes[self._packet_index]))
+        if self._steps >= self.config.max_episode_steps:
+            done = True
+
+        info: Dict = {
+            "action_kind": action_kind,
+            "masked": masked,
+            "score": score,
+            "data_penalty": data_penalty,
+            "time_penalty": time_penalty,
+        }
+
+        if done:
+            self._done = True
+            summary = self._finalise_episode()
+            info["episode"] = summary
+            observation = np.zeros(2)
+        else:
+            observation = self._make_observation()
+            self._observation_history.append(observation)
+
+        return observation, float(reward), done, info
+
+    # ------------------------------------------------------------------ #
+    # Episode bookkeeping
+    # ------------------------------------------------------------------ #
+    def _current_adversarial_flow(self) -> Flow:
+        assert self._original is not None
+        return Flow(
+            sizes=np.asarray(self._adversarial_sizes),
+            delays=np.asarray(self._adversarial_delays),
+            label=self._original.label,
+            protocol=f"{self._original.protocol}-adv",
+            metadata={"original_packets": self._original.n_packets},
+        )
+
+    def _finalise_episode(self) -> EpisodeSummary:
+        assert self._original is not None
+        adversarial = self._current_adversarial_flow()
+        final_score = self.censor.predict_score(adversarial)
+        success = final_score >= 0.5
+
+        original_payload = float(self._consumed_payload)
+        adversarial_bytes = float(np.abs(adversarial.sizes).sum())
+        padding = max(0.0, adversarial_bytes - original_payload)
+        data_overhead = padding / (original_payload + padding) if (original_payload + padding) > 0 else 0.0
+
+        adversarial_duration = float(adversarial.delays.sum())
+        time_overhead = (
+            self._added_delay_total / adversarial_duration if adversarial_duration > 0 else 0.0
+        )
+
+        summary = EpisodeSummary(
+            adversarial_flow=adversarial,
+            original_flow=self._original,
+            success=bool(success),
+            final_score=float(final_score),
+            data_overhead=float(data_overhead),
+            time_overhead=float(time_overhead),
+            n_truncations=self._n_truncations,
+            n_paddings=self._n_paddings,
+            n_delays=self._n_delays,
+            n_steps=self._steps,
+            episode_reward=float(self._episode_reward),
+        )
+        self.last_summary = summary
+        return summary

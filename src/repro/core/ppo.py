@@ -1,0 +1,113 @@
+"""Proximal Policy Optimization update (Algorithm 1, Appendix A.1).
+
+The trainer consumes a full :class:`~repro.core.rollout.RolloutBuffer` and
+performs ``update_epochs`` passes of clipped-surrogate policy updates plus
+mean-squared-error value updates over ``n_minibatches`` minibatches:
+
+    L_actor  = −E[ min( I_t(θ) Â_t , clip(I_t(θ), 1±ε) Â_t ) ] − c_H · H(π_θ)
+    L_critic =  E[ ( V_c(s_t) − R_t )² ]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..utils.rng import ensure_rng
+from .actor_critic import Critic, GaussianActor
+from .config import AmoebaConfig
+from .rollout import RolloutBuffer
+
+__all__ = ["PPOUpdater", "PPOUpdateStats"]
+
+
+@dataclass(frozen=True)
+class PPOUpdateStats:
+    """Diagnostics of one PPO update phase."""
+
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    approx_kl: float
+    clip_fraction: float
+
+
+class PPOUpdater:
+    """Optimises the actor and critic from collected rollouts."""
+
+    def __init__(
+        self,
+        actor: GaussianActor,
+        critic: Critic,
+        config: AmoebaConfig,
+        rng=None,
+    ) -> None:
+        self.actor = actor
+        self.critic = critic
+        self.config = config
+        self._rng = ensure_rng(rng)
+        self.actor_optimizer = nn.Adam(actor.parameters(), lr=config.learning_rate)
+        self.critic_optimizer = nn.Adam(critic.parameters(), lr=config.learning_rate)
+
+    def update(self, buffer: RolloutBuffer) -> PPOUpdateStats:
+        """Run the clipped-surrogate update over the buffer's minibatches."""
+        config = self.config
+        policy_losses = []
+        value_losses = []
+        entropies = []
+        kls = []
+        clip_fractions = []
+
+        for _ in range(config.update_epochs):
+            for batch in buffer.minibatches(config.n_minibatches, rng=self._rng):
+                states = nn.Tensor(batch.states)
+                advantages = nn.Tensor(batch.advantages)
+                returns = nn.Tensor(batch.returns)
+                old_log_probs = nn.Tensor(batch.log_probs)
+
+                # ---------------- actor ----------------
+                log_probs, entropy = self.actor.log_prob_and_entropy(states, batch.actions)
+                ratio = (log_probs - old_log_probs).exp()
+                clipped_ratio = ratio.clip(1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon)
+                surrogate = nn.Tensor.where(
+                    (ratio * advantages).data <= (clipped_ratio * advantages).data,
+                    ratio * advantages,
+                    clipped_ratio * advantages,
+                )
+                policy_loss = -surrogate.mean() - config.entropy_coef * entropy
+
+                self.actor_optimizer.zero_grad()
+                policy_loss.backward()
+                nn.clip_grad_norm(self.actor.parameters(), config.max_grad_norm)
+                self.actor_optimizer.step()
+
+                # ---------------- critic ----------------
+                values = self.critic(nn.Tensor(batch.states))
+                value_loss = F.mse_loss(values, returns)
+                self.critic_optimizer.zero_grad()
+                value_loss.backward()
+                nn.clip_grad_norm(self.critic.parameters(), config.max_grad_norm)
+                self.critic_optimizer.step()
+
+                with nn.no_grad():
+                    approx_kl = float(np.mean(batch.log_probs - log_probs.data))
+                    clip_fraction = float(
+                        np.mean(np.abs(ratio.data - 1.0) > config.clip_epsilon)
+                    )
+                policy_losses.append(policy_loss.item())
+                value_losses.append(value_loss.item())
+                entropies.append(entropy.item())
+                kls.append(approx_kl)
+                clip_fractions.append(clip_fraction)
+
+        return PPOUpdateStats(
+            policy_loss=float(np.mean(policy_losses)),
+            value_loss=float(np.mean(value_losses)),
+            entropy=float(np.mean(entropies)),
+            approx_kl=float(np.mean(kls)),
+            clip_fraction=float(np.mean(clip_fractions)),
+        )

@@ -1,0 +1,156 @@
+"""Rollout buffer and generalized advantage estimation (Appendix A.1).
+
+PPO trains on fixed-length rollouts collected from ``N`` parallel
+environments (Algorithm 1, line 4).  The buffer stores states, actions,
+log-probabilities, rewards, value estimates and episode-boundary flags, and
+computes advantages via GAE(λ):
+
+    A_t = Σ_l (γλ)^l [ r_{t+l} + γ V(s_{t+l+1}) − V(s_{t+l}) ].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..utils.rng import ensure_rng
+
+__all__ = ["RolloutBuffer", "compute_gae"]
+
+
+def compute_gae(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    dones: np.ndarray,
+    last_values: np.ndarray,
+    gamma: float,
+    gae_lambda: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute GAE advantages and returns.
+
+    Parameters
+    ----------
+    rewards, values, dones:
+        Arrays of shape ``(T, N)`` — T timesteps, N environments.  ``dones``
+        marks steps that *terminate* an episode.
+    last_values:
+        Value estimates of the state following the final step, shape ``(N,)``.
+
+    Returns
+    -------
+    advantages, returns:
+        Arrays of shape ``(T, N)``; returns are ``advantages + values``.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    dones = np.asarray(dones, dtype=bool)
+    if rewards.shape != values.shape or rewards.shape != dones.shape:
+        raise ValueError("rewards, values and dones must share the same (T, N) shape")
+    steps, n_envs = rewards.shape
+    advantages = np.zeros_like(rewards)
+    last_advantage = np.zeros(n_envs)
+    next_values = np.asarray(last_values, dtype=np.float64).reshape(n_envs)
+
+    for t in reversed(range(steps)):
+        non_terminal = 1.0 - dones[t].astype(np.float64)
+        delta = rewards[t] + gamma * next_values * non_terminal - values[t]
+        last_advantage = delta + gamma * gae_lambda * non_terminal * last_advantage
+        advantages[t] = last_advantage
+        next_values = values[t]
+
+    returns = advantages + values
+    return advantages, returns
+
+
+@dataclass
+class _Batch:
+    """One minibatch handed to the PPO update."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    log_probs: np.ndarray
+    advantages: np.ndarray
+    returns: np.ndarray
+
+
+class RolloutBuffer:
+    """Fixed-size (T × N) storage of environment interactions."""
+
+    def __init__(self, rollout_length: int, n_envs: int, state_dim: int, action_dim: int) -> None:
+        if rollout_length < 1 or n_envs < 1:
+            raise ValueError("rollout_length and n_envs must be >= 1")
+        self.rollout_length = rollout_length
+        self.n_envs = n_envs
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.reset()
+
+    def reset(self) -> None:
+        shape = (self.rollout_length, self.n_envs)
+        self.states = np.zeros(shape + (self.state_dim,))
+        self.actions = np.zeros(shape + (self.action_dim,))
+        self.log_probs = np.zeros(shape)
+        self.rewards = np.zeros(shape)
+        self.values = np.zeros(shape)
+        self.dones = np.zeros(shape, dtype=bool)
+        self._cursor = 0
+
+    @property
+    def full(self) -> bool:
+        return self._cursor >= self.rollout_length
+
+    def add(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        log_probs: np.ndarray,
+        rewards: np.ndarray,
+        values: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Append one timestep of data for all environments."""
+        if self.full:
+            raise RuntimeError("rollout buffer is full; call reset() before adding")
+        index = self._cursor
+        self.states[index] = states
+        self.actions[index] = actions
+        self.log_probs[index] = log_probs
+        self.rewards[index] = rewards
+        self.values[index] = values
+        self.dones[index] = dones
+        self._cursor += 1
+
+    def finalize(self, last_values: np.ndarray, gamma: float, gae_lambda: float) -> None:
+        """Compute advantages and returns once the buffer is full."""
+        if not self.full:
+            raise RuntimeError("cannot finalize a partially filled buffer")
+        self.advantages, self.returns = compute_gae(
+            self.rewards, self.values, self.dones, last_values, gamma, gae_lambda
+        )
+
+    def minibatches(self, n_minibatches: int, rng=None, normalise_advantages: bool = True) -> Iterator[_Batch]:
+        """Yield shuffled minibatches over the flattened (T*N) samples."""
+        rng = ensure_rng(rng)
+        total = self.rollout_length * self.n_envs
+        states = self.states.reshape(total, self.state_dim)
+        actions = self.actions.reshape(total, self.action_dim)
+        log_probs = self.log_probs.reshape(total)
+        advantages = self.advantages.reshape(total)
+        returns = self.returns.reshape(total)
+
+        if normalise_advantages:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        order = rng.permutation(total)
+        batch_size = max(1, total // n_minibatches)
+        for start in range(0, total, batch_size):
+            index = order[start : start + batch_size]
+            yield _Batch(
+                states=states[index],
+                actions=actions[index],
+                log_probs=log_probs[index],
+                advantages=advantages[index],
+                returns=returns[index],
+            )

@@ -1,0 +1,73 @@
+"""Action analysis: how Amoeba reshapes flows (Appendix A.5, Figure 14).
+
+Figure 14 plots, per censoring classifier, the histogram of how many
+truncation / padding / delay actions the agent takes per flow.  The helpers
+here aggregate those counts from :class:`~repro.core.agent.AdversarialResult`
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.agent import AdversarialResult
+from ..core.env import ActionKind
+
+__all__ = ["ActionHistogram", "action_histogram", "summarise_action_usage"]
+
+
+@dataclass(frozen=True)
+class ActionHistogram:
+    """Histogram of per-flow action counts for one action kind."""
+
+    kind: str
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    mean_per_flow: float
+
+    def as_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "bin_edges": self.bin_edges.tolist(),
+            "counts": self.counts.tolist(),
+            "mean_per_flow": self.mean_per_flow,
+        }
+
+
+def action_histogram(
+    results: Sequence[AdversarialResult],
+    kind: str,
+    bins: int = 10,
+    max_count: int = 50,
+) -> ActionHistogram:
+    """Histogram of the number of ``kind`` actions taken per adversarial flow."""
+    if not results:
+        raise ValueError("no adversarial results provided")
+    valid_kinds = {ActionKind.TRUNCATION, ActionKind.PADDING, ActionKind.DELAY}
+    if kind not in valid_kinds:
+        raise ValueError(f"kind must be one of {sorted(valid_kinds)}")
+    counts_per_flow = np.asarray([result.action_counts[kind] for result in results], dtype=float)
+    histogram, edges = np.histogram(counts_per_flow, bins=bins, range=(0, max_count))
+    return ActionHistogram(
+        kind=kind,
+        bin_edges=edges,
+        counts=histogram,
+        mean_per_flow=float(counts_per_flow.mean()),
+    )
+
+
+def summarise_action_usage(results: Sequence[AdversarialResult]) -> Dict[str, float]:
+    """Mean number of truncation/padding/delay actions per flow."""
+    if not results:
+        raise ValueError("no adversarial results provided")
+    summary = {}
+    for kind in (ActionKind.TRUNCATION, ActionKind.PADDING, ActionKind.DELAY):
+        summary[kind] = float(np.mean([result.action_counts[kind] for result in results]))
+    summary["mean_steps"] = float(np.mean([result.n_steps for result in results]))
+    summary["mean_original_length"] = float(
+        np.mean([result.original_flow.n_packets for result in results])
+    )
+    return summary

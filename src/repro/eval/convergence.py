@@ -1,0 +1,62 @@
+"""Convergence-curve utilities (Figures 7 and 9).
+
+The Amoeba training log records, per PPO update, the cumulative number of
+censor queries, the cumulative timesteps and the (train or held-out) attack
+success rate.  These helpers turn that log into the (x, y) series the paper
+plots and compute simple convergence statistics used in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.logging import TrainingLogger
+
+__all__ = ["ConvergenceCurve", "curve_from_log", "queries_to_reach"]
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """A named (x, y) series, e.g. ASR as a function of queries or timesteps."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def final_value(self) -> float:
+        return float(self.y[-1]) if len(self.y) else float("nan")
+
+    def best_value(self) -> float:
+        return float(np.max(self.y)) if len(self.y) else float("nan")
+
+    def as_dict(self) -> Dict:
+        return {"label": self.label, "x": self.x.tolist(), "y": self.y.tolist()}
+
+
+def curve_from_log(
+    log: TrainingLogger,
+    y_key: str = "train_asr",
+    x_key: str = "queries",
+    label: str = "amoeba",
+) -> ConvergenceCurve:
+    """Extract a convergence curve from a training log."""
+    y = np.asarray(log.series(y_key), dtype=float)
+    x = np.asarray(log.series(x_key), dtype=float)
+    if len(x) != len(y):
+        # Keys logged at different cadences (e.g. periodic test_asr); align on the tail.
+        length = min(len(x), len(y))
+        x, y = x[-length:] if length else x, y[-length:] if length else y
+    return ConvergenceCurve(label=label, x=x, y=y)
+
+
+def queries_to_reach(curve: ConvergenceCurve, target_asr: float) -> Optional[float]:
+    """First x value at which the curve reaches ``target_asr`` (None if never)."""
+    if not 0.0 <= target_asr <= 1.0:
+        raise ValueError("target_asr must be in [0, 1]")
+    reached = np.nonzero(curve.y >= target_asr)[0]
+    if reached.size == 0:
+        return None
+    return float(curve.x[reached[0]])

@@ -1,0 +1,69 @@
+"""Feature-importance analysis for tree-based censors (Figure 4).
+
+Figure 4 counts how many of the top-50 most important DT/RF features are
+packet-derived versus timing-derived, explaining why Amoeba spends more of
+its budget reshaping sizes than delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ImportanceBreakdown", "cumulative_category_counts"]
+
+
+@dataclass(frozen=True)
+class ImportanceBreakdown:
+    """Packet vs. timing composition of the top-k important features."""
+
+    model_name: str
+    top_k: int
+    packet_count: int
+    timing_count: int
+    ranked_features: Tuple[Tuple[str, str, float], ...]
+
+    @property
+    def packet_fraction(self) -> float:
+        total = self.packet_count + self.timing_count
+        return self.packet_count / total if total else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "model": self.model_name,
+            "top_k": self.top_k,
+            "packet": self.packet_count,
+            "timing": self.timing_count,
+            "packet_fraction": self.packet_fraction,
+        }
+
+    @classmethod
+    def from_censor(cls, censor, top_k: int = 50) -> "ImportanceBreakdown":
+        """Build from a tree-based censor exposing ``top_feature_importances``."""
+        ranked = tuple(censor.top_feature_importances(top_k))
+        packet = sum(1 for _, category, _ in ranked if category == "packet")
+        timing = sum(1 for _, category, _ in ranked if category == "timing")
+        return cls(
+            model_name=censor.name,
+            top_k=top_k,
+            packet_count=packet,
+            timing_count=timing,
+            ranked_features=ranked,
+        )
+
+
+def cumulative_category_counts(
+    ranked_features: Sequence[Tuple[str, str, float]]
+) -> Dict[str, np.ndarray]:
+    """Running count of packet/timing features along the importance ranking.
+
+    This is the per-position series Figure 4 plots on its x-axis (features in
+    descending importance) and y-axis (number of features of each category).
+    """
+    if not ranked_features:
+        raise ValueError("ranked_features must be non-empty")
+    packet = np.cumsum([1 if category == "packet" else 0 for _, category, _ in ranked_features])
+    timing = np.cumsum([1 if category == "timing" else 0 for _, category, _ in ranked_features])
+    return {"packet": packet, "timing": timing}

@@ -1,0 +1,56 @@
+"""Plain-text report formatting for benchmark output.
+
+Every benchmark prints the rows/series the corresponding table or figure in
+the paper reports; these helpers keep that output consistent and readable
+without requiring any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_percent", "format_series"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str], title: str = "") -> str:
+    """Render a list of row dictionaries as a fixed-width text table."""
+    if not rows:
+        raise ValueError("cannot format an empty table")
+    widths = {col: len(col) for col in columns}
+    rendered_rows: List[Dict[str, str]] = []
+    for row in rows:
+        rendered = {}
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                rendered[col] = f"{value:.3f}"
+            else:
+                rendered[col] = str(value)
+            widths[col] = max(widths[col], len(rendered[col]))
+        rendered_rows.append(rendered)
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(rendered[col].ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def format_series(label: str, xs: Iterable[float], ys: Iterable[float], x_name: str = "x", y_name: str = "y") -> str:
+    """Render an (x, y) series as aligned columns (one line per point)."""
+    xs, ys = list(xs), list(ys)
+    if len(xs) != len(ys):
+        raise ValueError("x and y series must have equal length")
+    lines = [f"{label}: {x_name} -> {y_name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:>12.1f} -> {y:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Persisting experiment results.
+
+Benchmarks print their tables to stdout; for downstream analysis (plotting,
+regression tracking across runs) the same results can be written to and read
+back from JSON with these helpers.  Numpy scalars/arrays and the library's
+result dataclasses are converted to plain JSON types automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+__all__ = ["save_results_json", "load_results_json"]
+
+PathLike = Union[str, Path]
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy / dataclass values into JSON-serialisable ones."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "as_dict"):
+        return _to_jsonable(value.as_dict())
+    raise TypeError(f"cannot serialise value of type {type(value).__name__}")
+
+
+def save_results_json(results: Dict[str, Any], path: PathLike, metadata: Dict[str, Any] = None) -> Path:
+    """Write a results dictionary (e.g. one benchmark's rows) to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"metadata": _to_jsonable(metadata or {}), "results": _to_jsonable(results)}
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def load_results_json(path: PathLike) -> Dict[str, Any]:
+    """Load a results file written by :func:`save_results_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "results" not in payload:
+        raise ValueError(f"{path} does not look like a results file (missing 'results' key)")
+    return payload

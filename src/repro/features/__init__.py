@@ -1,0 +1,13 @@
+"""Feature engineering: statistical features, CUMUL traces and sequence representations."""
+
+from .cumul import CumulFeatureExtractor
+from .representation import FlowNormalizer, SequenceRepresentation
+from .statistical import N_STATISTICAL_FEATURES, StatisticalFeatureExtractor
+
+__all__ = [
+    "StatisticalFeatureExtractor",
+    "N_STATISTICAL_FEATURES",
+    "CumulFeatureExtractor",
+    "SequenceRepresentation",
+    "FlowNormalizer",
+]

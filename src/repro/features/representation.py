@@ -1,0 +1,104 @@
+"""Sequence representation of flows for the deep-learning classifiers.
+
+DF, SDAE and LSTM in the paper are "tailored to utilize the flow
+representation in Sec. 3 as input", i.e. the raw sequence of (signed packet
+size, inter-packet delay) pairs rather than hand-crafted features.  This
+module normalises and pads/truncates flows into fixed-size arrays suitable
+for those networks, and exposes the normalisation constants so adversarial
+actions expressed in [-1, 1] x [0, 1] can be mapped back to bytes and
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..flows.flow import Flow
+
+__all__ = ["SequenceRepresentation", "FlowNormalizer"]
+
+
+@dataclass(frozen=True)
+class FlowNormalizer:
+    """Linear normalisation of packet sizes and delays.
+
+    ``size_scale`` is the maximum absolute packet size (bytes) — 1460 for the
+    TCP-layer Tor dataset, 16384 for the TLS-record V2Ray dataset.
+    ``delay_scale`` is the maximum delay (``max_delay`` in the paper's action
+    discretisation).
+    """
+
+    size_scale: float
+    delay_scale: float
+
+    def __post_init__(self) -> None:
+        if self.size_scale <= 0 or self.delay_scale <= 0:
+            raise ValueError("normalisation scales must be positive")
+
+    def normalise_sizes(self, sizes: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(sizes, dtype=np.float64) / self.size_scale, -1.0, 1.0)
+
+    def normalise_delays(self, delays: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(delays, dtype=np.float64) / self.delay_scale, 0.0, 1.0)
+
+    def denormalise_size(self, value: float) -> float:
+        """Map a normalised size in [-1, 1] back to signed bytes (discretised)."""
+        return float(int(np.clip(value, -1.0, 1.0) * self.size_scale))
+
+    def denormalise_delay(self, value: float) -> float:
+        """Map a normalised delay in [0, 1] back to milliseconds (discretised)."""
+        return float(int(np.clip(value, 0.0, 1.0) * self.delay_scale))
+
+    def normalise_flow(self, flow: Flow) -> np.ndarray:
+        """Return the (n_packets, 2) normalised pair representation of a flow."""
+        return np.column_stack(
+            [self.normalise_sizes(flow.sizes), self.normalise_delays(flow.delays)]
+        )
+
+    @classmethod
+    def for_dataset(cls, max_packet_size: float, max_delay: float) -> "FlowNormalizer":
+        return cls(size_scale=float(max_packet_size), delay_scale=float(max_delay))
+
+
+class SequenceRepresentation:
+    """Pad/truncate normalised flows into fixed-length sequence tensors."""
+
+    def __init__(self, max_length: int, normalizer: FlowNormalizer) -> None:
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        self.max_length = max_length
+        self.normalizer = normalizer
+
+    @property
+    def n_features(self) -> int:
+        """Flattened dimensionality (for MLP-style models)."""
+        return self.max_length * 2
+
+    def transform(self, flow: Flow) -> np.ndarray:
+        """Return a (max_length, 2) array of normalised (size, delay) pairs."""
+        pairs = self.normalizer.normalise_flow(flow)
+        output = np.zeros((self.max_length, 2))
+        length = min(len(pairs), self.max_length)
+        output[:length] = pairs[:length]
+        return output
+
+    def transform_many(self, flows: Sequence[Flow]) -> np.ndarray:
+        """Return a (n_flows, max_length, 2) array."""
+        return np.stack([self.transform(flow) for flow in flows])
+
+    def transform_flat(self, flows: Sequence[Flow]) -> np.ndarray:
+        """Return a (n_flows, max_length * 2) array for MLP/SVM-style models."""
+        return self.transform_many(flows).reshape(len(flows), -1)
+
+    def transform_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        """Pad/truncate an already-normalised (n, 2) pair array."""
+        pairs = np.asarray(pairs, dtype=np.float64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) pair array, got shape {pairs.shape}")
+        output = np.zeros((self.max_length, 2))
+        length = min(len(pairs), self.max_length)
+        output[:length] = pairs[:length]
+        return output

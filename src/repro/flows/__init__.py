@@ -1,0 +1,49 @@
+"""Traffic substrate: flow model, synthetic generators, datasets and network conditions."""
+
+from .dataset import DatasetSplits, FlowDataset, build_tor_dataset, build_v2ray_dataset
+from .flow import Flow, FlowLabel, flow_matrix
+from .generators import (
+    TCP_MSS,
+    TLS_MAX_RECORD,
+    TOR_CELL_SIZE,
+    FlowGenerator,
+    HTTPSFlowGenerator,
+    HTTPSRecordFlowGenerator,
+    TorFlowGenerator,
+    V2RayFlowGenerator,
+)
+from .io import (
+    load_dataset,
+    load_flows_csv,
+    load_flows_jsonl,
+    save_dataset,
+    save_flows_csv,
+    save_flows_jsonl,
+)
+from .network import NetworkCondition, apply_conditions
+
+__all__ = [
+    "Flow",
+    "FlowLabel",
+    "flow_matrix",
+    "FlowGenerator",
+    "TorFlowGenerator",
+    "HTTPSFlowGenerator",
+    "V2RayFlowGenerator",
+    "HTTPSRecordFlowGenerator",
+    "TCP_MSS",
+    "TLS_MAX_RECORD",
+    "TOR_CELL_SIZE",
+    "FlowDataset",
+    "DatasetSplits",
+    "build_tor_dataset",
+    "build_v2ray_dataset",
+    "NetworkCondition",
+    "apply_conditions",
+    "save_flows_jsonl",
+    "load_flows_jsonl",
+    "save_flows_csv",
+    "load_flows_csv",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,198 @@
+"""Network-flow data model.
+
+A flow is represented exactly as in Section 3 of the paper: a vector of
+signed packet sizes (positive = client-to-server, negative = server-to-client)
+and a vector of non-negative inter-packet delays.  The first delay is zero by
+convention (it is the flow start).
+
+Sizes are in bytes; delays are in milliseconds throughout the library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Flow", "FlowLabel", "flow_matrix"]
+
+
+class FlowLabel:
+    """Binary flow labels.
+
+    The censor blocks ``CENSORED`` traffic (Tor / V2Ray tunnels) and permits
+    ``BENIGN`` traffic (plain HTTPS browsing).  These integers are also the
+    classifier targets: following the paper's decision function, a classifier
+    score >= 0.5 (class 1) means *benign / permitted*.
+    """
+
+    CENSORED = 0
+    BENIGN = 1
+
+
+@dataclass
+class Flow:
+    """A bidirectional network flow.
+
+    Attributes
+    ----------
+    sizes:
+        Signed packet sizes in bytes.  Positive values are client-to-server
+        packets, negative values server-to-client.
+    delays:
+        Inter-packet delays in milliseconds, same length as ``sizes``; the
+        first entry is 0 by convention.
+    label:
+        :class:`FlowLabel` value (0 = censored/sensitive, 1 = benign).
+    protocol:
+        Human-readable provenance tag, e.g. ``"tor"``, ``"v2ray"``, ``"https"``.
+    metadata:
+        Free-form dictionary (drop rate, generator parameters, ...).
+    """
+
+    sizes: np.ndarray
+    delays: np.ndarray
+    label: int = FlowLabel.CENSORED
+    protocol: str = "unknown"
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.sizes = np.asarray(self.sizes, dtype=np.float64).reshape(-1)
+        self.delays = np.asarray(self.delays, dtype=np.float64).reshape(-1)
+        if self.sizes.shape != self.delays.shape:
+            raise ValueError(
+                f"sizes and delays must have equal length, got {self.sizes.shape} vs {self.delays.shape}"
+            )
+        if len(self.sizes) == 0:
+            raise ValueError("a flow must contain at least one packet")
+        if np.any(self.sizes == 0):
+            raise ValueError("packet sizes must be non-zero (sign encodes direction)")
+        if np.any(self.delays < 0):
+            raise ValueError("inter-packet delays must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def directions(self) -> np.ndarray:
+        """+1 for client-to-server packets, -1 for server-to-client."""
+        return np.sign(self.sizes)
+
+    @property
+    def absolute_sizes(self) -> np.ndarray:
+        return np.abs(self.sizes)
+
+    @property
+    def upstream_bytes(self) -> float:
+        return float(self.sizes[self.sizes > 0].sum())
+
+    @property
+    def downstream_bytes(self) -> float:
+        return float(-self.sizes[self.sizes < 0].sum())
+
+    @property
+    def total_bytes(self) -> float:
+        return float(np.abs(self.sizes).sum())
+
+    @property
+    def duration(self) -> float:
+        """Total transmission time in milliseconds (sum of inter-packet delays)."""
+        return float(self.delays.sum())
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Cumulative packet timestamps in milliseconds from flow start."""
+        return np.cumsum(self.delays)
+
+    def prefix(self, length: int) -> "Flow":
+        """Return a copy containing only the first ``length`` packets."""
+        if length < 1:
+            raise ValueError("prefix length must be >= 1")
+        length = min(length, self.n_packets)
+        return Flow(
+            sizes=self.sizes[:length].copy(),
+            delays=self.delays[:length].copy(),
+            label=self.label,
+            protocol=self.protocol,
+            metadata=dict(self.metadata),
+        )
+
+    def copy(self) -> "Flow":
+        return Flow(
+            sizes=self.sizes.copy(),
+            delays=self.delays.copy(),
+            label=self.label,
+            protocol=self.protocol,
+            metadata=dict(self.metadata),
+        )
+
+    def as_pairs(self) -> np.ndarray:
+        """Return the (n_packets, 2) array of (size, delay) pairs."""
+        return np.column_stack([self.sizes, self.delays])
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation."""
+        return {
+            "sizes": self.sizes.tolist(),
+            "delays": self.delays.tolist(),
+            "label": int(self.label),
+            "protocol": self.protocol,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Flow":
+        return cls(
+            sizes=np.asarray(payload["sizes"], dtype=np.float64),
+            delays=np.asarray(payload["delays"], dtype=np.float64),
+            label=int(payload.get("label", FlowLabel.CENSORED)),
+            protocol=payload.get("protocol", "unknown"),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Same-direction inter-packet delays (Figure 11)
+    # ------------------------------------------------------------------ #
+    def same_direction_delays(self) -> np.ndarray:
+        """Delays between consecutive packets travelling in the same direction.
+
+        Used to reproduce Figure 11 (feasibility of per-packet online
+        inference): the delay between packet ``i`` and the next packet in the
+        same direction.
+        """
+        timestamps = self.timestamps
+        directions = self.directions
+        gaps: List[float] = []
+        for direction in (1.0, -1.0):
+            stamps = timestamps[directions == direction]
+            if len(stamps) > 1:
+                gaps.extend(np.diff(stamps).tolist())
+        return np.asarray(gaps, dtype=np.float64)
+
+
+def flow_matrix(
+    flows: Sequence[Flow], max_length: int, normalise_size: float = 1.0, normalise_delay: float = 1.0
+) -> np.ndarray:
+    """Convert flows to a dense ``(n_flows, max_length, 2)`` array.
+
+    Flows shorter than ``max_length`` are zero padded, longer ones truncated.
+    Sizes are divided by ``normalise_size`` and delays by ``normalise_delay``
+    (typically the maximum packet size / delay of the dataset).
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    output = np.zeros((len(flows), max_length, 2))
+    for row, flow in enumerate(flows):
+        length = min(flow.n_packets, max_length)
+        output[row, :length, 0] = flow.sizes[:length] / normalise_size
+        output[row, :length, 1] = flow.delays[:length] / normalise_delay
+    return output

@@ -1,0 +1,34 @@
+"""Classical ML substrate: trees, forests, SVMs, scalers and metrics."""
+
+from .decision_tree import DecisionTreeClassifier
+from .metrics import (
+    ClassificationReport,
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from .random_forest import RandomForestClassifier
+from .scaler import MinMaxScaler, StandardScaler
+from .svm import KernelSVM, LinearSVM, linear_kernel, polynomial_kernel, rbf_kernel
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "LinearSVM",
+    "KernelSVM",
+    "rbf_kernel",
+    "linear_kernel",
+    "polynomial_kernel",
+    "StandardScaler",
+    "MinMaxScaler",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "classification_report",
+    "ClassificationReport",
+]

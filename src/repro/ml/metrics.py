@@ -1,0 +1,103 @@
+"""Classification metrics used throughout the evaluation (Sec. 5.3).
+
+The paper reports accuracy and F1 score for the censoring classifiers, and
+attack success rate / data overhead / time overhead for attacks (the latter
+live in :mod:`repro.eval.metrics` because they operate on flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "classification_report",
+    "ClassificationReport",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).astype(int).reshape(-1)
+    y_pred = np.asarray(y_pred).astype(int).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[str, int]:
+    """Binary confusion matrix as a dict with tp/fp/tn/fn counts.
+
+    The positive class is label ``1``.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return {"tp": tp, "fp": fp, "tn": tn, "fn": fn}
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    cm = confusion_matrix(y_true, y_pred)
+    denominator = cm["tp"] + cm["fp"]
+    return cm["tp"] / denominator if denominator else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    cm = confusion_matrix(y_true, y_pred)
+    denominator = cm["tp"] + cm["fn"]
+    return cm["tp"] / denominator if denominator else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Container bundling the metrics the paper reports per classifier."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "support": self.support,
+        }
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> ClassificationReport:
+    """Compute accuracy/precision/recall/F1 in one pass."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return ClassificationReport(
+        accuracy=accuracy_score(y_true, y_pred),
+        precision=precision_score(y_true, y_pred),
+        recall=recall_score(y_true, y_pred),
+        f1=f1_score(y_true, y_pred),
+        support=int(y_true.size),
+    )

@@ -1,0 +1,78 @@
+"""Feature scaling utilities (fit on training data, apply everywhere).
+
+The CUMUL/SVM pipeline and the tree models operate on the 166-dimensional
+statistical feature vectors; the SVM in particular needs standardised inputs
+for the RBF kernel bandwidth to be meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..utils.validation import check_2d
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling per feature."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_2d(X, "X")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fit before transform")
+        X = check_2d(X, "X")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fit before inverse_transform")
+        X = check_2d(X, "X")
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features to [0, 1] based on the training range."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = check_2d(X, "X")
+        self.min_ = X.min(axis=0)
+        value_range = X.max(axis=0) - self.min_
+        value_range[value_range == 0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler must be fit before transform")
+        X = check_2d(X, "X")
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler must be fit before inverse_transform")
+        X = check_2d(X, "X")
+        return X * self.range_ + self.min_

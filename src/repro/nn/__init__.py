@@ -1,0 +1,70 @@
+"""Minimal neural-network substrate (numpy autodiff) used across the library.
+
+Public surface:
+
+* :class:`Tensor`, :func:`no_grad` — reverse-mode autodiff core.
+* :mod:`repro.nn.functional` — activations, losses, Gaussian policy helpers.
+* Layers — :class:`Linear`, :class:`Sequential`, :class:`Conv1d`,
+  :class:`GRU`, :class:`LSTM`, regularisers.
+* Optimizers — :class:`SGD`, :class:`Adam`, :class:`RMSProp`.
+"""
+
+from . import functional
+from .conv import Conv1d, GlobalAveragePool1d, MaxPool1d
+from .init import kaiming_uniform, orthogonal, xavier_normal, xavier_uniform
+from .layers import (
+    Dropout,
+    Flatten,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
+from .recurrent import GRU, GRUCell, LSTM, LSTMCell
+from .serialization import load_module, load_state_dict, save_module, save_state_dict
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "LayerNorm",
+    "Flatten",
+    "Conv1d",
+    "MaxPool1d",
+    "GlobalAveragePool1d",
+    "GRUCell",
+    "GRU",
+    "LSTMCell",
+    "LSTM",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "clip_grad_norm",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "orthogonal",
+    "save_module",
+    "load_module",
+    "save_state_dict",
+    "load_state_dict",
+]

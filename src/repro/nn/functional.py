@@ -1,0 +1,136 @@
+"""Functional neural-network operations built on :class:`repro.nn.Tensor`.
+
+These free functions mirror the subset of ``torch.nn.functional`` that the
+Amoeba reproduction needs: activations, stable softmax / log-softmax,
+classification and regression losses, and the Gaussian log-density used by
+the PPO policy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "mse_loss",
+    "mae_loss",
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "gaussian_log_prob",
+    "gaussian_entropy",
+    "huber_loss",
+]
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exped = shifted.exp()
+    return exped / exped.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error over all elements (used by the StateEncoder)."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    return (prediction - target.detach()).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss, quadratic near zero and linear for large residuals."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = prediction - target.detach()
+    abs_diff = diff.abs()
+    quadratic = 0.5 * diff * diff
+    linear = delta * abs_diff - 0.5 * delta * delta
+    return Tensor.where(abs_diff.data <= delta, quadratic, linear).mean()
+
+
+def binary_cross_entropy(probabilities: Tensor, targets: Tensor, eps: float = 1e-7) -> Tensor:
+    """BCE on probabilities already passed through a sigmoid."""
+    probabilities = as_tensor(probabilities).clip(eps, 1.0 - eps)
+    targets = as_tensor(targets).detach()
+    loss = -(targets * probabilities.log() + (1.0 - targets) * (1.0 - probabilities).log())
+    return loss.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Tensor) -> Tensor:
+    """Numerically stable BCE that takes raw logits."""
+    logits = as_tensor(logits)
+    targets = as_tensor(targets).detach()
+    # max(x, 0) - x*t + log(1 + exp(-|x|))
+    relu_term = logits.relu()
+    softplus = (1.0 + (-logits.abs()).exp()).log()
+    return (relu_term - logits * targets + softplus).mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Multi-class cross entropy; ``targets`` are integer class indices."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(len(targets))
+    picked = log_probs[rows, targets]
+    return -picked.mean()
+
+
+def gaussian_log_prob(actions: Tensor, mean: Tensor, log_std: Tensor) -> Tensor:
+    """Log density of ``actions`` under a diagonal Gaussian policy.
+
+    Sums over the action dimension (last axis), returning one log-probability
+    per sample, as required by the PPO surrogate objective.
+    """
+    actions = as_tensor(actions).detach()
+    mean, log_std = as_tensor(mean), as_tensor(log_std)
+    variance = (log_std * 2.0).exp()
+    per_dim = (
+        -0.5 * ((actions - mean) ** 2) / variance
+        - log_std
+        - 0.5 * _LOG_2PI
+    )
+    return per_dim.sum(axis=-1)
+
+
+def gaussian_entropy(log_std: Tensor) -> Tensor:
+    """Entropy of a diagonal Gaussian, summed over action dims, mean over batch."""
+    log_std = as_tensor(log_std)
+    per_dim = log_std + 0.5 * (_LOG_2PI + 1.0)
+    return per_dim.sum(axis=-1).mean()

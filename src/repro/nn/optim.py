@@ -1,0 +1,132 @@
+"""First-order optimizers: SGD (with momentum), Adam and RMSProp.
+
+The paper's hyperparameter search (Table 3) covers exactly these three; Adam
+with learning rate 5e-4 is the selected configuration for Amoeba.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSProp", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm, which callers may log for diagnostics.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity -= self.lr * param.grad
+                param.data = param.data + velocity
+            else:
+                param.data = param.data - self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2014)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp optimizer."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self._sq = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, sq in zip(self.parameters, self._sq):
+            if param.grad is None:
+                continue
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * param.grad * param.grad
+            param.data = param.data - self.lr * param.grad / (np.sqrt(sq) + self.eps)

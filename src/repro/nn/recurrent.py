@@ -1,0 +1,177 @@
+"""Recurrent layers: GRU and LSTM cells and multi-layer sequence wrappers.
+
+The Amoeba StateEncoder is a two-layer GRU (paper Appendix A.2) and one of
+the censoring classifiers is a multi-layer LSTM (Rimmer et al.).  Both are
+implemented here on top of the autodiff :class:`~repro.nn.Tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .layers import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = ["GRUCell", "GRU", "LSTMCell", "LSTM"]
+
+
+class GRUCell(Module):
+    """Single gated-recurrent-unit cell.
+
+    Follows the standard formulation::
+
+        r = sigmoid(x W_xr + h W_hr + b_r)
+        z = sigmoid(x W_xz + h W_hz + b_z)
+        n = tanh(x W_xn + r * (h W_hn) + b_n)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        rng = rng or np.random.default_rng()
+        for gate in ("r", "z", "n"):
+            setattr(self, f"w_x{gate}", Parameter(init.xavier_uniform((input_size, hidden_size), rng=rng)))
+            setattr(self, f"w_h{gate}", Parameter(init.orthogonal((hidden_size, hidden_size), rng=rng)))
+            setattr(self, f"b_{gate}", Parameter(init.zeros((hidden_size,))))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        x, hidden = as_tensor(x), as_tensor(hidden)
+        reset = (x @ self.w_xr + hidden @ self.w_hr + self.b_r).sigmoid()
+        update = (x @ self.w_xz + hidden @ self.w_hz + self.b_z).sigmoid()
+        candidate = (x @ self.w_xn + reset * (hidden @ self.w_hn) + self.b_n).tanh()
+        return (1.0 - update) * candidate + update * hidden
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class GRU(Module):
+    """Multi-layer GRU applied over a (batch, time, features) sequence."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self._cells: List[GRUCell] = []
+        for layer in range(num_layers):
+            cell = GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng=rng)
+            self.register_module(f"cell{layer}", cell)
+            self._cells.append(cell)
+
+    def forward(
+        self, x: Tensor, hidden: Optional[List[Tensor]] = None
+    ) -> Tuple[Tensor, List[Tensor]]:
+        """Run the GRU over a sequence.
+
+        Parameters
+        ----------
+        x:
+            Tensor of shape ``(batch, time, input_size)``.
+        hidden:
+            Optional list of per-layer hidden states, each ``(batch, hidden_size)``.
+
+        Returns
+        -------
+        outputs, hidden:
+            ``outputs`` has shape ``(batch, time, hidden_size)`` (top layer);
+            ``hidden`` is the final per-layer hidden state list.
+        """
+        x = as_tensor(x)
+        batch, steps, _ = x.shape
+        if hidden is None:
+            hidden = [cell.initial_state(batch) for cell in self._cells]
+        else:
+            hidden = list(hidden)
+
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            step_input = x[:, t, :]
+            for layer, cell in enumerate(self._cells):
+                hidden[layer] = cell(step_input, hidden[layer])
+                step_input = hidden[layer]
+            outputs.append(step_input)
+        return Tensor.stack(outputs, axis=1), hidden
+
+
+class LSTMCell(Module):
+    """Single long short-term memory cell with forget-gate bias of 1."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        rng = rng or np.random.default_rng()
+        for gate in ("i", "f", "g", "o"):
+            setattr(self, f"w_x{gate}", Parameter(init.xavier_uniform((input_size, hidden_size), rng=rng)))
+            setattr(self, f"w_h{gate}", Parameter(init.orthogonal((hidden_size, hidden_size), rng=rng)))
+            bias = np.ones(hidden_size) if gate == "f" else np.zeros(hidden_size)
+            setattr(self, f"b_{gate}", Parameter(bias))
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        hidden, cell = state
+        x, hidden, cell = as_tensor(x), as_tensor(hidden), as_tensor(cell)
+        input_gate = (x @ self.w_xi + hidden @ self.w_hi + self.b_i).sigmoid()
+        forget_gate = (x @ self.w_xf + hidden @ self.w_hf + self.b_f).sigmoid()
+        candidate = (x @ self.w_xg + hidden @ self.w_hg + self.b_g).tanh()
+        output_gate = (x @ self.w_xo + hidden @ self.w_ho + self.b_o).sigmoid()
+        new_cell = forget_gate * cell + input_gate * candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Multi-layer LSTM over (batch, time, features) sequences."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self._cells: List[LSTMCell] = []
+        for layer in range(num_layers):
+            cell = LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng=rng)
+            self.register_module(f"cell{layer}", cell)
+            self._cells.append(cell)
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[List[Tuple[Tensor, Tensor]]] = None,
+    ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        x = as_tensor(x)
+        batch, steps, _ = x.shape
+        if state is None:
+            state = [cell.initial_state(batch) for cell in self._cells]
+        else:
+            state = list(state)
+
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            step_input = x[:, t, :]
+            for layer, cell in enumerate(self._cells):
+                state[layer] = cell(step_input, state[layer])
+                step_input = state[layer][0]
+            outputs.append(step_input)
+        return Tensor.stack(outputs, axis=1), state

@@ -1,0 +1,66 @@
+"""Model persistence: save / load module state dicts as ``.npz`` archives.
+
+Used to snapshot trained censoring classifiers, the pre-trained StateEncoder
+and Amoeba policies so experiments can reuse them without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module", "save_state_dict", "load_state_dict"]
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__meta__"
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike, metadata: Optional[dict] = None) -> Path:
+    """Save a state dict (mapping of parameter name to array) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {key: np.asarray(value) for key, value in state.items()}
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+    # numpy appends .npz when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files if key != _META_KEY}
+
+
+def load_metadata(path: PathLike) -> dict:
+    """Return the JSON metadata stored alongside a state dict, if any."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            return {}
+        return json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+
+
+def save_module(module: Module, path: PathLike, metadata: Optional[dict] = None) -> Path:
+    """Persist a module's parameters to ``path`` (``.npz``)."""
+    return save_state_dict(module.state_dict(), path, metadata=metadata)
+
+
+def load_module(module: Module, path: PathLike) -> Module:
+    """Load parameters into an already-constructed ``module`` and return it."""
+    module.load_state_dict(load_state_dict(path))
+    return module

@@ -1,0 +1,23 @@
+"""Shared utilities: RNG management, logging and validation."""
+
+from .logging import TrainingLogger, get_logger
+from .rng import ensure_rng, spawn_rngs
+from .validation import (
+    check_2d,
+    check_fraction_sum,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "get_logger",
+    "TrainingLogger",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction_sum",
+    "check_2d",
+]

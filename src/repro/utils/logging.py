@@ -1,0 +1,52 @@
+"""Lightweight structured logging helpers for training loops and benchmarks."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Dict, Optional
+
+__all__ = ["get_logger", "TrainingLogger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger that writes to stderr exactly once."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+class TrainingLogger:
+    """Accumulates scalar metrics per step and reports periodic summaries."""
+
+    def __init__(self, name: str = "training", report_every: int = 0, logger: Optional[logging.Logger] = None) -> None:
+        self.history: Dict[str, list] = {}
+        self.report_every = report_every
+        self._logger = logger or get_logger(name)
+        self._start = time.monotonic()
+        self._step = 0
+
+    def log(self, **metrics: float) -> None:
+        """Record one step of scalar metrics."""
+        self._step += 1
+        for key, value in metrics.items():
+            self.history.setdefault(key, []).append(float(value))
+        if self.report_every and self._step % self.report_every == 0:
+            summary = ", ".join(f"{k}={v[-1]:.4f}" for k, v in self.history.items())
+            elapsed = time.monotonic() - self._start
+            self._logger.info("step %d (%.1fs): %s", self._step, elapsed, summary)
+
+    def latest(self, key: str, default: float = float("nan")) -> float:
+        values = self.history.get(key)
+        return values[-1] if values else default
+
+    def series(self, key: str) -> list:
+        return list(self.history.get(key, []))

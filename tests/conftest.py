@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight objects (datasets, trained censors, pre-trained encoders) are
+session-scoped so the several hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.censors import DecisionTreeCensor
+from repro.core import AmoebaConfig
+from repro.features import FlowNormalizer, SequenceRepresentation
+from repro.flows import Flow, FlowLabel, build_tor_dataset, build_v2ray_dataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tor_dataset():
+    return build_tor_dataset(n_censored=60, n_benign=60, rng=np.random.default_rng(7), max_packets=40)
+
+
+@pytest.fixture(scope="session")
+def v2ray_dataset():
+    return build_v2ray_dataset(n_censored=40, n_benign=40, rng=np.random.default_rng(8), max_packets=40)
+
+
+@pytest.fixture(scope="session")
+def tor_splits(tor_dataset):
+    return tor_dataset.split(rng=np.random.default_rng(9))
+
+
+@pytest.fixture(scope="session")
+def normalizer():
+    return FlowNormalizer(size_scale=1460.0, delay_scale=200.0)
+
+
+@pytest.fixture(scope="session")
+def representation(normalizer):
+    return SequenceRepresentation(40, normalizer)
+
+
+@pytest.fixture(scope="session")
+def trained_dt_censor(tor_splits):
+    censor = DecisionTreeCensor(rng=3)
+    censor.fit(tor_splits.clf_train.flows)
+    return censor
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    return AmoebaConfig.for_tor(
+        n_envs=2,
+        rollout_length=16,
+        max_episode_steps=30,
+        encoder_hidden=8,
+        actor_hidden=(16,),
+        critic_hidden=(16,),
+    )
+
+
+@pytest.fixture
+def simple_flow():
+    return Flow(
+        sizes=[536.0, -1072.0, 536.0, -536.0],
+        delays=[0.0, 50.0, 20.0, 5.0],
+        label=FlowLabel.CENSORED,
+        protocol="tor",
+    )
+
+
+@pytest.fixture
+def benign_flow():
+    return Flow(
+        sizes=[420.0, -1460.0, -1200.0, 300.0],
+        delays=[0.0, 30.0, 1.0, 40.0],
+        label=FlowLabel.BENIGN,
+        protocol="https",
+    )

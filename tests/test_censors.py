@@ -1,0 +1,188 @@
+"""Unit and integration tests for the censoring classifiers and the gateway."""
+
+import numpy as np
+import pytest
+
+from repro.censors import (
+    CensorGateway,
+    CumulSVMClassifier,
+    DecisionTreeCensor,
+    DeepFingerprintingClassifier,
+    LSTMClassifier,
+    RandomForestCensor,
+    SDAEClassifier,
+    SocketPair,
+)
+from repro.eval.metrics import classifier_detection_report
+from repro.flows import FlowLabel
+
+
+class TestCensorInterface:
+    def test_unfitted_censor_rejects_scoring(self, simple_flow):
+        censor = DecisionTreeCensor(rng=0)
+        with pytest.raises(RuntimeError):
+            censor.predict_score(simple_flow)
+
+    def test_query_counting(self, trained_dt_censor, tor_splits):
+        trained_dt_censor.reset_query_count()
+        trained_dt_censor.predict_scores(tor_splits.test.flows[:5])
+        trained_dt_censor.predict_score(tor_splits.test.flows[0])
+        assert trained_dt_censor.query_count == 6
+        trained_dt_censor.reset_query_count()
+        assert trained_dt_censor.query_count == 0
+
+    def test_scores_are_probabilities(self, trained_dt_censor, tor_splits):
+        scores = trained_dt_censor.predict_scores(tor_splits.test.flows)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_classify_threshold(self, trained_dt_censor, tor_splits):
+        flow = tor_splits.test.flows[0]
+        decision = trained_dt_censor.classify(flow)
+        score = trained_dt_censor.predict_score(flow)
+        assert decision == int(score >= 0.5)
+
+    def test_label_validation(self, tor_splits):
+        censor = DecisionTreeCensor(rng=0)
+        flows = tor_splits.clf_train.flows[:4]
+        with pytest.raises(ValueError):
+            censor.fit(flows, labels=[0, 1, 2, 1])
+        with pytest.raises(ValueError):
+            censor.fit(flows, labels=[0, 1])
+
+    def test_empty_predict_scores(self, trained_dt_censor):
+        assert trained_dt_censor.predict_scores([]).size == 0
+
+    def test_repr_mentions_name(self, trained_dt_censor):
+        assert "DT" in repr(trained_dt_censor)
+
+
+class TestTreeCensors:
+    def test_dt_detects_tor(self, trained_dt_censor, tor_splits):
+        report = classifier_detection_report(trained_dt_censor, tor_splits.test.flows)
+        assert report["accuracy"] >= 0.9
+        assert report["f1"] >= 0.9
+
+    def test_rf_detects_tor(self, tor_splits):
+        censor = RandomForestCensor(n_estimators=10, rng=0).fit(tor_splits.clf_train.flows)
+        report = classifier_detection_report(censor, tor_splits.test.flows)
+        assert report["accuracy"] >= 0.9
+
+    def test_feature_importance_analysis(self, trained_dt_censor):
+        top = trained_dt_censor.top_feature_importances(top_k=20)
+        assert len(top) == 20
+        assert all(importance >= 0 for _, _, importance in top)
+        counts = trained_dt_censor.importance_category_counts(top_k=20)
+        assert counts["packet"] + counts["timing"] == 20
+
+    def test_packet_features_dominate_importances(self, trained_dt_censor):
+        """Figure 4's qualitative claim: packet features outrank timing features."""
+        counts = trained_dt_censor.importance_category_counts(top_k=20)
+        assert counts["packet"] > counts["timing"]
+
+
+class TestCumulCensor:
+    def test_cumul_detects_tor(self, tor_splits):
+        censor = CumulSVMClassifier(rng=0, n_interpolation=30, epochs=10).fit(tor_splits.clf_train.flows)
+        report = classifier_detection_report(censor, tor_splits.test.flows)
+        assert report["accuracy"] >= 0.85
+
+    def test_cumul_not_differentiable(self, tor_splits):
+        censor = CumulSVMClassifier(rng=0)
+        assert censor.differentiable is False
+
+
+class TestNeuralCensors:
+    @pytest.fixture(scope="class")
+    def df_censor(self, representation, tor_splits):
+        return DeepFingerprintingClassifier(representation, epochs=6, rng=0).fit(
+            tor_splits.clf_train.flows
+        )
+
+    def test_df_learns(self, df_censor, tor_splits):
+        report = classifier_detection_report(df_censor, tor_splits.test.flows)
+        assert report["accuracy"] >= 0.7
+
+    def test_df_forward_tensor_outputs_probabilities(self, df_censor, tor_splits):
+        from repro import nn
+
+        batch = df_censor.prepare_input(tor_splits.test.flows[:4])
+        out = df_censor.forward_tensor(nn.Tensor(batch)).data
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_df_requires_min_length(self, normalizer):
+        from repro.features import SequenceRepresentation
+
+        with pytest.raises(ValueError):
+            DeepFingerprintingClassifier(SequenceRepresentation(2, normalizer))
+
+    def test_sdae_learns(self, representation, tor_splits):
+        censor = SDAEClassifier(representation, epochs=12, pretrain_epochs=2, rng=0).fit(
+            tor_splits.clf_train.flows
+        )
+        report = classifier_detection_report(censor, tor_splits.test.flows)
+        assert report["accuracy"] >= 0.7
+
+    def test_lstm_learns(self, normalizer, tor_splits):
+        censor = LSTMClassifier(normalizer, epochs=3, hidden_size=16, max_train_length=30, rng=0).fit(
+            tor_splits.clf_train.flows
+        )
+        report = classifier_detection_report(censor, tor_splits.test.flows)
+        assert report["accuracy"] >= 0.7
+
+    def test_lstm_handles_variable_lengths(self, normalizer, tor_splits, simple_flow):
+        censor = LSTMClassifier(normalizer, epochs=1, hidden_size=8, max_train_length=20, rng=0).fit(
+            tor_splits.clf_train.flows[:20]
+        )
+        score = censor.predict_score(simple_flow)
+        assert 0.0 <= score <= 1.0
+
+
+class TestGateway:
+    def test_benign_flow_allowed(self, trained_dt_censor, tor_splits):
+        gateway = CensorGateway(trained_dt_censor)
+        pair = SocketPair("10.0.0.1", 50000, "93.184.216.34", 443)
+        benign = tor_splits.test.benign_flows[0]
+        decision = gateway.observe(pair, benign)
+        assert decision.allowed
+        assert not gateway.is_blocked(pair)
+
+    def test_censored_flow_blocks_socket_pair(self, trained_dt_censor, tor_splits):
+        gateway = CensorGateway(trained_dt_censor)
+        pair = SocketPair("10.0.0.2", 50001, "1.2.3.4", 443)
+        censored = tor_splits.test.censored_flows[0]
+        decision = gateway.observe(pair, censored)
+        assert not decision.allowed
+        assert gateway.is_blocked(pair)
+
+    def test_blocked_pair_rejected_without_new_query(self, trained_dt_censor, tor_splits):
+        gateway = CensorGateway(trained_dt_censor)
+        pair = SocketPair("10.0.0.3", 50002, "1.2.3.4", 443)
+        gateway.observe(pair, tor_splits.test.censored_flows[0])
+        before = trained_dt_censor.query_count
+        decision = gateway.observe(pair, tor_splits.test.benign_flows[0])
+        assert decision.blacklisted
+        assert trained_dt_censor.query_count == before
+
+    def test_destination_port_blocking(self, trained_dt_censor, tor_splits):
+        gateway = CensorGateway(trained_dt_censor, block_destination_port=True)
+        first = SocketPair("10.0.0.4", 50003, "5.6.7.8", 443)
+        second = SocketPair("10.0.0.5", 50004, "5.6.7.8", 443)
+        gateway.observe(first, tor_splits.test.censored_flows[0])
+        assert gateway.is_blocked(second)
+
+    def test_unblock_and_reset(self, trained_dt_censor, tor_splits):
+        gateway = CensorGateway(trained_dt_censor)
+        pair = SocketPair("10.0.0.6", 50005, "9.9.9.9", 443)
+        gateway.observe(pair, tor_splits.test.censored_flows[0])
+        gateway.unblock(pair)
+        assert not gateway.is_blocked(pair)
+        gateway.reset()
+        assert gateway.statistics["decisions"] == 0
+
+    def test_statistics_counting(self, trained_dt_censor, tor_splits):
+        gateway = CensorGateway(trained_dt_censor)
+        for index, flow in enumerate(tor_splits.test.flows[:6]):
+            gateway.observe(SocketPair("10.0.1.1", 40000 + index, "8.8.8.8", 443), flow)
+        stats = gateway.statistics
+        assert stats["decisions"] == 6
+        assert stats["blocked"] == stats["blacklist_size"]

@@ -1,0 +1,78 @@
+"""Tests for the ensemble censoring classifier."""
+
+import numpy as np
+import pytest
+
+from repro.censors import DecisionTreeCensor, EnsembleCensor, RandomForestCensor
+from repro.eval.metrics import classifier_detection_report
+
+
+@pytest.fixture(scope="module")
+def fitted_ensemble(request):
+    tor_splits = request.getfixturevalue("tor_splits")
+    ensemble = EnsembleCensor(
+        [DecisionTreeCensor(rng=0), RandomForestCensor(n_estimators=8, rng=1)], rule="mean"
+    )
+    ensemble.fit(tor_splits.clf_train.flows)
+    return ensemble
+
+
+class TestEnsembleCensor:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            EnsembleCensor([])
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleCensor([DecisionTreeCensor(rng=0)], rule="median")
+
+    def test_name_lists_members(self):
+        ensemble = EnsembleCensor([DecisionTreeCensor(rng=0), RandomForestCensor(rng=1)])
+        assert "DT" in ensemble.name and "RF" in ensemble.name
+
+    def test_fit_trains_all_members(self, fitted_ensemble):
+        for member in fitted_ensemble.members:
+            assert member._fitted
+
+    def test_detects_tor_traffic(self, fitted_ensemble, tor_splits):
+        report = classifier_detection_report(fitted_ensemble, tor_splits.test.flows)
+        assert report["accuracy"] >= 0.9
+
+    def test_scores_are_probabilities(self, fitted_ensemble, tor_splits):
+        scores = fitted_ensemble.predict_scores(tor_splits.test.flows[:8])
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_min_rule_is_stricter_than_mean(self, tor_splits):
+        members = [DecisionTreeCensor(rng=0), RandomForestCensor(n_estimators=8, rng=1)]
+        mean_ensemble = EnsembleCensor(members, rule="mean").fit(tor_splits.clf_train.flows)
+        mean_scores = mean_ensemble.predict_scores(tor_splits.test.flows[:10])
+        min_ensemble = EnsembleCensor(members, rule="min")
+        min_ensemble._fitted = True  # members already fitted above
+        min_scores = min_ensemble.predict_scores(tor_splits.test.flows[:10])
+        assert np.all(min_scores <= mean_scores + 1e-12)
+
+    def test_vote_rule_returns_fractions(self, tor_splits):
+        members = [DecisionTreeCensor(rng=0), RandomForestCensor(n_estimators=8, rng=1)]
+        ensemble = EnsembleCensor(members, rule="vote").fit(tor_splits.clf_train.flows)
+        scores = ensemble.predict_scores(tor_splits.test.flows[:10])
+        assert set(np.round(scores * 2).astype(int)) <= {0, 1, 2}
+
+    def test_member_query_counts_exposed(self, fitted_ensemble, tor_splits):
+        fitted_ensemble.predict_scores(tor_splits.test.flows[:5])
+        counts = fitted_ensemble.member_query_counts
+        assert all(count >= 5 for count in counts.values())
+
+    def test_ensemble_is_black_box_to_amoeba(self, fitted_ensemble, tor_splits, normalizer, fast_config):
+        """Amoeba can train against the ensemble exactly like any other censor."""
+        from repro.core import Amoeba
+
+        agent = Amoeba(
+            fitted_ensemble,
+            normalizer,
+            fast_config,
+            rng=0,
+            encoder_pretrain_kwargs={"n_flows": 20, "epochs": 1, "max_length": 12},
+        )
+        agent.train(tor_splits.attack_train.censored_flows[:10], total_timesteps=100)
+        report = agent.evaluate(tor_splits.test.censored_flows[:3])
+        assert 0.0 <= report.attack_success_rate <= 1.0

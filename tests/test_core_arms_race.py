@@ -1,0 +1,61 @@
+"""Tests for the censor-vs-Amoeba arms-race extension (Section 5.6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.censors import DecisionTreeCensor
+from repro.core import run_arms_race
+
+
+class TestArmsRace:
+    @pytest.fixture(scope="class")
+    def race_result(self, request):
+        tor_splits = request.getfixturevalue("tor_splits")
+        normalizer = request.getfixturevalue("normalizer")
+        fast_config = request.getfixturevalue("fast_config")
+        return run_arms_race(
+            censor_factory=lambda: DecisionTreeCensor(rng=0),
+            normalizer=normalizer,
+            clf_train_flows=tor_splits.clf_train.flows,
+            attack_train_flows=tor_splits.attack_train.censored_flows[:15],
+            test_flows=tor_splits.test.flows,
+            eval_flows=tor_splits.test.censored_flows[:5],
+            n_rounds=2,
+            amoeba_timesteps=150,
+            harvest_per_round=5,
+            config=fast_config,
+            rng=0,
+        )
+
+    def test_rounds_count(self, race_result):
+        assert len(race_result.rounds) == 2
+
+    def test_round_metrics_are_valid(self, race_result):
+        for round_ in race_result.rounds:
+            assert 0.0 <= round_.censor_accuracy <= 1.0
+            assert 0.0 <= round_.censor_f1 <= 1.0
+            assert 0.0 <= round_.attack_success_rate <= 1.0
+            assert round_.collected_adversarial_flows >= 0
+
+    def test_collected_flows_accumulate(self, race_result):
+        counts = [round_.collected_adversarial_flows for round_ in race_result.rounds]
+        assert counts == sorted(counts)
+        assert counts[-1] >= counts[0]
+
+    def test_trajectories_match_rounds(self, race_result):
+        assert len(race_result.asr_trajectory()) == 2
+        assert len(race_result.accuracy_trajectory()) == 2
+        assert isinstance(race_result.attacker_dominates(), bool)
+
+    def test_invalid_round_count(self, normalizer, tor_splits, fast_config):
+        with pytest.raises(ValueError):
+            run_arms_race(
+                censor_factory=lambda: DecisionTreeCensor(rng=0),
+                normalizer=normalizer,
+                clf_train_flows=tor_splits.clf_train.flows,
+                attack_train_flows=tor_splits.attack_train.censored_flows[:5],
+                test_flows=tor_splits.test.flows,
+                eval_flows=tor_splits.test.censored_flows[:3],
+                n_rounds=0,
+                config=fast_config,
+            )

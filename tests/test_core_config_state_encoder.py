@@ -1,0 +1,128 @@
+"""Unit tests for AmoebaConfig and the StateEncoder (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    AmoebaConfig,
+    Seq2SeqAutoencoder,
+    StateEncoder,
+    make_synthetic_flow_dataset,
+    pretrain_state_encoder,
+    reconstruction_nmae_by_length,
+)
+
+
+class TestAmoebaConfig:
+    def test_defaults_match_paper_hyperparameters(self):
+        config = AmoebaConfig()
+        assert config.learning_rate == pytest.approx(5e-4)
+        assert config.lambda_split == pytest.approx(0.05)
+        assert config.lambda_time == pytest.approx(0.2)
+        assert config.gamma == pytest.approx(0.99)
+        assert config.gae_lambda == pytest.approx(0.95)
+
+    def test_dataset_specific_lambda_data(self):
+        assert AmoebaConfig.for_tor().lambda_data == pytest.approx(0.2)
+        assert AmoebaConfig.for_v2ray().lambda_data == pytest.approx(2.0)
+
+    def test_paper_scale_widths(self):
+        config = AmoebaConfig.paper_scale()
+        assert config.actor_hidden == (256, 64, 32)
+        assert config.encoder_hidden == 512
+
+    def test_state_dim_is_twice_encoder_hidden(self):
+        config = AmoebaConfig(encoder_hidden=48)
+        assert config.state_dim == 96
+
+    def test_with_overrides_returns_copy(self):
+        base = AmoebaConfig()
+        other = base.with_overrides(lambda_data=3.0)
+        assert other.lambda_data == 3.0
+        assert base.lambda_data == 0.2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"reward_mask_rate": 1.5},
+            {"lambda_data": -1.0},
+            {"n_envs": 0},
+            {"min_packet_bytes": 0},
+            {"max_delay_ms": 0.0},
+            {"n_minibatches": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AmoebaConfig(**kwargs)
+
+
+class TestSyntheticDataset:
+    def test_shape_and_ranges(self):
+        data = make_synthetic_flow_dataset(n_flows=10, max_length=15, rng=0)
+        assert data.shape == (10, 15, 2)
+        assert data[..., 0].min() >= -1.0 and data[..., 0].max() <= 1.0
+        assert data[..., 1].min() >= 0.0 and data[..., 1].max() <= 1.0
+
+    def test_first_delay_zero(self):
+        data = make_synthetic_flow_dataset(n_flows=5, max_length=10, rng=1)
+        assert np.all(data[:, 0, 1] == 0.0)
+
+
+class TestStateEncoder:
+    @pytest.fixture(scope="class")
+    def pretrained(self):
+        encoder, autoencoder, log = pretrain_state_encoder(
+            hidden_size=16, num_layers=2, n_flows=60, max_length=20, epochs=3, rng=0
+        )
+        return encoder, autoencoder, log
+
+    def test_encoding_shape(self, pretrained):
+        encoder, _, _ = pretrained
+        code = encoder.encode_pairs(np.random.default_rng(0).uniform(-1, 1, size=(12, 2)))
+        assert code.shape == (16,)
+
+    def test_empty_history_encodes_to_zeros(self, pretrained):
+        encoder, _, _ = pretrained
+        assert np.allclose(encoder.encode_pairs(np.zeros((0, 2))), 0.0)
+
+    def test_invalid_pair_shape_rejected(self, pretrained):
+        encoder, _, _ = pretrained
+        with pytest.raises(ValueError):
+            encoder.encode_pairs(np.zeros((4, 3)))
+
+    def test_different_sequences_encode_differently(self, pretrained):
+        encoder, _, _ = pretrained
+        a = encoder.encode_pairs(np.full((8, 2), 0.9))
+        b = encoder.encode_pairs(np.full((8, 2), -0.9) * np.array([1.0, 0.0]))
+        assert not np.allclose(a, b)
+
+    def test_pretraining_reduces_reconstruction_error(self, pretrained):
+        _, _, log = pretrained
+        series = log.series("reconstruction_mae")
+        first_quarter = np.mean(series[: max(1, len(series) // 4)])
+        last_quarter = np.mean(series[-max(1, len(series) // 4):])
+        assert last_quarter < first_quarter
+
+    def test_nmae_by_length_keys_and_values(self, pretrained):
+        _, autoencoder, _ = pretrained
+        nmae = reconstruction_nmae_by_length(autoencoder, lengths=[2, 5, 10], n_flows=10, rng=0)
+        assert set(nmae) == {2, 5, 10}
+        assert all(value >= 0 for value in nmae.values())
+
+    def test_nmae_rejects_invalid_length(self, pretrained):
+        _, autoencoder, _ = pretrained
+        with pytest.raises(ValueError):
+            reconstruction_nmae_by_length(autoencoder, lengths=[0])
+
+    def test_autoencoder_output_shape_matches_input(self):
+        model = Seq2SeqAutoencoder(hidden_size=8, num_layers=1, rng=0)
+        batch = nn.Tensor(np.random.default_rng(0).uniform(-1, 1, size=(3, 7, 2)))
+        assert model(batch).shape == (3, 7, 2)
+
+    def test_encoder_handles_length_one(self, pretrained):
+        encoder, _, _ = pretrained
+        code = encoder.encode_pairs(np.array([[0.5, 0.1]]))
+        assert code.shape == (16,)

@@ -1,0 +1,227 @@
+"""Unit tests for the adversarial flow environment (transport-layer emulator)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdversarialFlowEnv, AmoebaConfig
+from repro.flows import Flow, FlowLabel
+
+
+@pytest.fixture
+def env_config():
+    return AmoebaConfig.for_tor(
+        max_episode_steps=50,
+        min_packet_bytes=64,
+        max_truncations_per_packet=4,
+        max_delay_ms=100.0,
+    )
+
+
+@pytest.fixture
+def small_flow():
+    return Flow(
+        sizes=[1000.0, -1460.0, 500.0],
+        delays=[0.0, 30.0, 10.0],
+        label=FlowLabel.CENSORED,
+        protocol="tor",
+    )
+
+
+@pytest.fixture
+def env(trained_dt_censor, normalizer, env_config, small_flow):
+    return AdversarialFlowEnv(trained_dt_censor, normalizer, env_config, [small_flow], rng=0)
+
+
+class TestEnvBasics:
+    def test_requires_flows(self, trained_dt_censor, normalizer, env_config):
+        with pytest.raises(ValueError):
+            AdversarialFlowEnv(trained_dt_censor, normalizer, env_config, [], rng=0)
+
+    def test_reset_returns_first_observation(self, env, small_flow, normalizer):
+        observation = env.reset()
+        assert observation.shape == (2,)
+        assert observation[0] == pytest.approx(1000.0 / normalizer.size_scale)
+        assert observation[1] == 0.0
+
+    def test_step_before_reset_raises(self, trained_dt_censor, normalizer, env_config, small_flow):
+        env = AdversarialFlowEnv(trained_dt_censor, normalizer, env_config, [small_flow], rng=0)
+        with pytest.raises(RuntimeError):
+            env.step(np.array([0.5, 0.0]))
+
+    def test_invalid_action_shape_rejected(self, env):
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(np.array([0.5]))
+
+    def test_observation_and_action_histories_grow(self, env):
+        env.reset()
+        assert env.observation_history().shape == (1, 2)
+        env.step(np.array([1.0, 0.0]))
+        assert env.action_history().shape == (1, 2)
+        assert env.observation_history().shape[0] >= 1
+
+
+class TestEmulatorSemantics:
+    def test_padding_action_advances_to_next_packet(self, env, normalizer):
+        env.reset()
+        # Request a packet larger than the 1000-byte payload -> padding.
+        observation, reward, done, info = env.step(np.array([1.0, 0.0]))
+        assert info["action_kind"] == "padding"
+        assert not done
+        # Next observation is the second original packet (downstream 1460).
+        assert observation[0] == pytest.approx(-1.0)
+
+    def test_truncation_keeps_same_packet(self, env, normalizer):
+        env.reset()
+        small_action = 200.0 / normalizer.size_scale
+        observation, reward, done, info = env.step(np.array([small_action, 0.0]))
+        assert info["action_kind"] == "truncation"
+        # Remaining payload of the first packet is 1000 - 200 = 800 bytes.
+        assert observation[0] == pytest.approx(800.0 / normalizer.size_scale, abs=1e-2)
+
+    def test_payload_conservation(self, env, small_flow):
+        """Constraint (1): adversarial bytes cover the original payload per direction."""
+        env.reset()
+        rng = np.random.default_rng(0)
+        done = False
+        while not done:
+            action = np.array([rng.uniform(-1, 1), rng.uniform(0, 1)])
+            _, _, done, info = env.step(action)
+        adversarial = info["episode"].adversarial_flow
+        for direction in (1, -1):
+            original_bytes = np.abs(small_flow.sizes[np.sign(small_flow.sizes) == direction]).sum()
+            adversarial_bytes = np.abs(
+                adversarial.sizes[np.sign(adversarial.sizes) == direction]
+            ).sum()
+            assert adversarial_bytes >= original_bytes
+
+    def test_direction_preserved_per_packet(self, env):
+        env.reset()
+        # Even if the agent requests a positive size for a downstream packet,
+        # the emitted adversarial packet keeps the original direction.
+        env.step(np.array([1.0, 0.0]))  # finish first (upstream) packet
+        _, _, _, _ = env.step(np.array([1.0, 0.0]))  # second packet is downstream
+        adversarial_sizes = env._current_adversarial_flow().sizes
+        assert adversarial_sizes[0] > 0
+        assert adversarial_sizes[1] < 0
+
+    def test_delay_constraint_respected(self, env, small_flow):
+        """Constraint (2): adversarial delay >= original delay for each packet."""
+        env.reset()
+        done = False
+        while not done:
+            _, _, done, info = env.step(np.array([1.0, 0.5]))
+        adversarial = info["episode"].adversarial_flow
+        assert adversarial.delays[1] >= small_flow.delays[1]
+
+    def test_truncation_limit_forces_completion(self, trained_dt_censor, normalizer, small_flow):
+        config = AmoebaConfig.for_tor(max_truncations_per_packet=2, max_episode_steps=50)
+        env = AdversarialFlowEnv(trained_dt_censor, normalizer, config, [small_flow], rng=0)
+        env.reset()
+        tiny = 64.0 / normalizer.size_scale
+        kinds = []
+        for _ in range(3):
+            _, _, _, info = env.step(np.array([tiny, 0.0]))
+            kinds.append(info["action_kind"])
+        assert kinds[0] == "truncation"
+        assert kinds[1] == "truncation"
+        assert kinds[2] in ("padding", "exact")
+
+    def test_max_episode_steps_terminates(self, trained_dt_censor, normalizer, small_flow):
+        config = AmoebaConfig.for_tor(max_episode_steps=2, max_truncations_per_packet=8)
+        env = AdversarialFlowEnv(trained_dt_censor, normalizer, config, [small_flow], rng=0)
+        env.reset()
+        _, _, done, _ = env.step(np.array([0.1, 0.0]))
+        if not done:
+            _, _, done, _ = env.step(np.array([0.1, 0.0]))
+        assert done
+
+    def test_min_packet_bytes_enforced(self, env):
+        env.reset()
+        env.step(np.array([0.0, 0.0]))  # requests 0 bytes -> raised to min_packet_bytes
+        assert abs(env._current_adversarial_flow().sizes[0]) >= env.config.min_packet_bytes
+
+
+class TestRewards:
+    def test_reward_components_in_info(self, env):
+        env.reset()
+        _, reward, _, info = env.step(np.array([1.0, 0.3]))
+        assert "data_penalty" in info and "time_penalty" in info
+        assert info["time_penalty"] == pytest.approx(0.3, abs=0.02)
+
+    def test_reward_decreases_with_delay(self, trained_dt_censor, normalizer, env_config, small_flow):
+        def first_reward(delay_fraction):
+            env = AdversarialFlowEnv(trained_dt_censor, normalizer, env_config, [small_flow], rng=0)
+            env.reset()
+            _, reward, _, _ = env.step(np.array([1.0, delay_fraction]))
+            return reward
+
+        assert first_reward(0.0) > first_reward(1.0)
+
+    def test_reward_decreases_with_padding(self, trained_dt_censor, normalizer, env_config):
+        tiny_flow = Flow(sizes=[200.0], delays=[0.0], label=FlowLabel.CENSORED)
+
+        def first_reward(size_fraction):
+            env = AdversarialFlowEnv(trained_dt_censor, normalizer, env_config, [tiny_flow], rng=0)
+            env.reset()
+            _, reward, _, _ = env.step(np.array([size_fraction, 0.0]))
+            return reward
+
+        assert first_reward(200.0 / 1460.0) >= first_reward(1.0)
+
+    def test_masked_rewards_skip_censor_queries(self, trained_dt_censor, normalizer, small_flow):
+        config = AmoebaConfig.for_tor(reward_mask_rate=1.0, max_episode_steps=30)
+        env = AdversarialFlowEnv(trained_dt_censor, normalizer, config, [small_flow], rng=0)
+        trained_dt_censor.reset_query_count()
+        env.reset()
+        _, _, done, info = env.step(np.array([1.0, 0.0]))
+        assert info["masked"]
+        assert np.isnan(info["score"])
+        # Only the final episode classification queries the censor.
+        while not done:
+            _, _, done, _ = env.step(np.array([1.0, 0.0]))
+        assert trained_dt_censor.query_count == 1
+
+
+class TestEpisodeSummary:
+    def test_summary_fields(self, env):
+        env.reset()
+        done = False
+        while not done:
+            _, _, done, info = env.step(np.array([1.0, 0.2]))
+        summary = info["episode"]
+        assert summary.adversarial_flow.n_packets == summary.n_steps
+        assert 0.0 <= summary.data_overhead < 1.0
+        assert 0.0 <= summary.time_overhead <= 1.0
+        assert isinstance(summary.success, bool)
+        assert summary.action_counts()["padding"] == summary.n_paddings
+
+    def test_summary_counts_delays(self, env):
+        env.reset()
+        done = False
+        while not done:
+            _, _, done, info = env.step(np.array([1.0, 0.9]))
+        assert info["episode"].n_delays == info["episode"].n_steps
+
+    def test_exact_transmission_zero_data_overhead(self, trained_dt_censor, normalizer, env_config):
+        flow = Flow(sizes=[1460.0, -1460.0], delays=[0.0, 10.0], label=FlowLabel.CENSORED)
+        env = AdversarialFlowEnv(trained_dt_censor, normalizer, env_config, [flow], rng=0)
+        env.reset()
+        done = False
+        while not done:
+            _, _, done, info = env.step(np.array([1.0, 0.0]))
+        assert info["episode"].data_overhead == pytest.approx(0.0, abs=1e-6)
+
+    def test_flow_pool_cycles(self, trained_dt_censor, normalizer, env_config, small_flow):
+        other = Flow(sizes=[300.0, -300.0], delays=[0.0, 5.0], label=FlowLabel.CENSORED)
+        env = AdversarialFlowEnv(
+            trained_dt_censor, normalizer, env_config, [small_flow, other], rng=0
+        )
+        seen_lengths = set()
+        for _ in range(4):
+            env.reset()
+            seen_lengths.add(env._original.n_packets)
+            done = False
+            while not done:
+                _, _, done, _ = env.step(np.array([1.0, 0.0]))
+        assert seen_lengths == {2, 3}

@@ -1,0 +1,183 @@
+"""Unit tests for actor-critic, rollout buffer / GAE and PPO updates."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    AmoebaConfig,
+    Critic,
+    GaussianActor,
+    PPOUpdater,
+    RolloutBuffer,
+    compute_gae,
+)
+from repro.core.actor_critic import build_mlp
+
+
+class TestActorCritic:
+    def test_build_mlp_shapes(self):
+        mlp = build_mlp(6, (8, 4), 2, rng=0)
+        out = mlp(nn.Tensor(np.zeros((3, 6))))
+        assert out.shape == (3, 2)
+
+    def test_actor_forward_shapes(self):
+        actor = GaussianActor(state_dim=6, action_dim=2, hidden_dims=(8,), rng=0)
+        mean, log_std = actor(nn.Tensor(np.zeros((5, 6))))
+        assert mean.shape == (5, 2)
+        assert log_std.shape == (2,)
+
+    def test_actor_act_returns_action_and_logprob(self):
+        actor = GaussianActor(state_dim=4, rng=0)
+        action, log_prob = actor.act(np.zeros(4))
+        assert action.shape == (2,)
+        assert np.isfinite(log_prob)
+
+    def test_deterministic_act_returns_mean(self):
+        actor = GaussianActor(state_dim=4, rng=0)
+        a1, _ = actor.act(np.zeros(4), deterministic=True)
+        a2, _ = actor.act(np.zeros(4), deterministic=True)
+        assert np.allclose(a1, a2)
+
+    def test_stochastic_act_varies(self):
+        actor = GaussianActor(state_dim=4, rng=0)
+        actions = {tuple(np.round(actor.act(np.zeros(4))[0], 6)) for _ in range(5)}
+        assert len(actions) > 1
+
+    def test_log_prob_and_entropy_differentiable(self):
+        actor = GaussianActor(state_dim=4, rng=0)
+        states = nn.Tensor(np.random.default_rng(0).normal(size=(6, 4)))
+        actions = np.random.default_rng(1).normal(size=(6, 2))
+        log_probs, entropy = actor.log_prob_and_entropy(states, actions)
+        (log_probs.mean() + entropy).backward()
+        assert all(p.grad is not None for p in actor.parameters())
+
+    def test_critic_value_scalar(self):
+        critic = Critic(state_dim=4, hidden_dims=(8,), rng=0)
+        assert isinstance(critic.value(np.zeros(4)), float)
+
+    def test_critic_batch_shape(self):
+        critic = Critic(state_dim=4, hidden_dims=(8,), rng=0)
+        out = critic(nn.Tensor(np.zeros((7, 4))))
+        assert out.shape == (7,)
+
+
+class TestGAE:
+    def test_single_step_advantage(self):
+        rewards = np.array([[1.0]])
+        values = np.array([[0.5]])
+        dones = np.array([[True]])
+        advantages, returns = compute_gae(rewards, values, dones, np.array([10.0]), gamma=0.9, gae_lambda=0.95)
+        # Terminal step: advantage = r - V(s) (bootstrap removed by done flag).
+        assert advantages[0, 0] == pytest.approx(0.5)
+        assert returns[0, 0] == pytest.approx(1.0)
+
+    def test_bootstrap_used_when_not_done(self):
+        rewards = np.array([[1.0]])
+        values = np.array([[0.5]])
+        dones = np.array([[False]])
+        advantages, _ = compute_gae(rewards, values, dones, np.array([2.0]), gamma=0.9, gae_lambda=0.95)
+        assert advantages[0, 0] == pytest.approx(1.0 + 0.9 * 2.0 - 0.5)
+
+    def test_discounting_over_two_steps(self):
+        rewards = np.array([[0.0], [1.0]])
+        values = np.array([[0.0], [0.0]])
+        dones = np.array([[False], [True]])
+        advantages, _ = compute_gae(rewards, values, dones, np.array([0.0]), gamma=0.5, gae_lambda=1.0)
+        assert advantages[1, 0] == pytest.approx(1.0)
+        assert advantages[0, 0] == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_gae(np.zeros((2, 1)), np.zeros((3, 1)), np.zeros((2, 1), dtype=bool), np.zeros(1), 0.9, 0.95)
+
+    def test_multi_env_independence(self):
+        rewards = np.array([[1.0, 0.0]])
+        values = np.zeros((1, 2))
+        dones = np.array([[True, True]])
+        advantages, _ = compute_gae(rewards, values, dones, np.zeros(2), 0.9, 0.95)
+        assert advantages[0, 0] != advantages[0, 1]
+
+
+class TestRolloutBuffer:
+    def make_full_buffer(self, length=4, n_envs=2, state_dim=3):
+        buffer = RolloutBuffer(length, n_envs, state_dim, 2)
+        rng = np.random.default_rng(0)
+        for _ in range(length):
+            buffer.add(
+                states=rng.normal(size=(n_envs, state_dim)),
+                actions=rng.normal(size=(n_envs, 2)),
+                log_probs=rng.normal(size=n_envs),
+                rewards=rng.normal(size=n_envs),
+                values=rng.normal(size=n_envs),
+                dones=rng.random(n_envs) < 0.3,
+            )
+        buffer.finalize(np.zeros(n_envs), gamma=0.99, gae_lambda=0.95)
+        return buffer
+
+    def test_full_flag(self):
+        buffer = RolloutBuffer(2, 1, 3, 2)
+        assert not buffer.full
+        for _ in range(2):
+            buffer.add(np.zeros((1, 3)), np.zeros((1, 2)), np.zeros(1), np.zeros(1), np.zeros(1), np.zeros(1, dtype=bool))
+        assert buffer.full
+        with pytest.raises(RuntimeError):
+            buffer.add(np.zeros((1, 3)), np.zeros((1, 2)), np.zeros(1), np.zeros(1), np.zeros(1), np.zeros(1, dtype=bool))
+
+    def test_finalize_requires_full(self):
+        buffer = RolloutBuffer(3, 1, 2, 2)
+        with pytest.raises(RuntimeError):
+            buffer.finalize(np.zeros(1), 0.99, 0.95)
+
+    def test_minibatches_cover_all_samples(self):
+        buffer = self.make_full_buffer()
+        total = sum(len(batch.states) for batch in buffer.minibatches(2, rng=0))
+        assert total == 4 * 2
+
+    def test_minibatch_advantage_normalisation(self):
+        buffer = self.make_full_buffer()
+        advantages = np.concatenate([b.advantages for b in buffer.minibatches(1, rng=0)])
+        assert advantages.mean() == pytest.approx(0.0, abs=1e-6)
+        assert advantages.std() == pytest.approx(1.0, abs=1e-2)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer(0, 1, 2, 2)
+
+
+class TestPPOUpdater:
+    def test_update_returns_finite_stats_and_changes_actor(self):
+        config = AmoebaConfig(
+            n_envs=2, rollout_length=8, actor_hidden=(8,), critic_hidden=(8,), encoder_hidden=4
+        )
+        actor = GaussianActor(state_dim=config.state_dim, hidden_dims=config.actor_hidden, rng=0)
+        critic = Critic(config.state_dim, hidden_dims=config.critic_hidden, rng=1)
+        updater = PPOUpdater(actor, critic, config, rng=2)
+
+        buffer = RolloutBuffer(config.rollout_length, config.n_envs, config.state_dim, 2)
+        rng = np.random.default_rng(3)
+        for _ in range(config.rollout_length):
+            states = rng.normal(size=(config.n_envs, config.state_dim))
+            actions = np.stack([actor.act(s)[0] for s in states])
+            log_probs = np.array([actor.act(s)[1] for s in states])
+            buffer.add(
+                states=states,
+                actions=actions,
+                log_probs=log_probs,
+                rewards=rng.normal(size=config.n_envs),
+                values=rng.normal(size=config.n_envs),
+                dones=rng.random(config.n_envs) < 0.2,
+            )
+        buffer.finalize(np.zeros(config.n_envs), config.gamma, config.gae_lambda)
+
+        weights_before = [p.data.copy() for p in actor.parameters()]
+        stats = updater.update(buffer)
+        assert np.isfinite(stats.policy_loss)
+        assert np.isfinite(stats.value_loss)
+        assert np.isfinite(stats.entropy)
+        assert 0.0 <= stats.clip_fraction <= 1.0
+        changed = any(
+            not np.allclose(before, after.data)
+            for before, after in zip(weights_before, actor.parameters())
+        )
+        assert changed

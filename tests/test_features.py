@@ -1,0 +1,179 @@
+"""Unit tests for feature extraction (statistical, CUMUL, sequence representation)."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    N_STATISTICAL_FEATURES,
+    CumulFeatureExtractor,
+    FlowNormalizer,
+    SequenceRepresentation,
+    StatisticalFeatureExtractor,
+)
+from repro.flows import Flow
+
+
+class TestStatisticalFeatures:
+    def test_feature_count_is_166(self):
+        extractor = StatisticalFeatureExtractor()
+        assert extractor.n_features == N_STATISTICAL_FEATURES == 166
+
+    def test_names_match_count_and_are_unique(self):
+        extractor = StatisticalFeatureExtractor()
+        names = extractor.feature_names()
+        assert len(names) == 166
+        assert len(set(names)) == 166
+
+    def test_categories_cover_all_features(self):
+        extractor = StatisticalFeatureExtractor()
+        categories = extractor.feature_categories()
+        assert len(categories) == 166
+        assert set(categories) == {"packet", "timing"}
+
+    def test_extract_vector_shape_and_finiteness(self, simple_flow):
+        vector = StatisticalFeatureExtractor().extract(simple_flow)
+        assert vector.shape == (166,)
+        assert np.all(np.isfinite(vector))
+
+    def test_extract_many_matrix(self, tor_dataset):
+        matrix = StatisticalFeatureExtractor().extract_many(tor_dataset.flows[:10])
+        assert matrix.shape == (10, 166)
+
+    def test_single_packet_flow(self):
+        flow = Flow(sizes=[500.0], delays=[0.0])
+        vector = StatisticalFeatureExtractor().extract(flow)
+        assert np.all(np.isfinite(vector))
+
+    def test_unidirectional_flow(self):
+        flow = Flow(sizes=[100.0, 200.0, 300.0], delays=[0.0, 1.0, 2.0])
+        vector = StatisticalFeatureExtractor().extract(flow)
+        names = StatisticalFeatureExtractor().feature_names()
+        # downstream packet count should be zero
+        assert vector[names.index("n_packets_down")] == 0.0
+
+    def test_packet_count_features_correct(self, simple_flow):
+        extractor = StatisticalFeatureExtractor()
+        vector = extractor.extract(simple_flow)
+        names = extractor.feature_names()
+        assert vector[names.index("n_packets")] == 4
+        assert vector[names.index("n_packets_up")] == 2
+        assert vector[names.index("n_packets_down")] == 2
+
+    def test_duration_feature(self, simple_flow):
+        extractor = StatisticalFeatureExtractor()
+        vector = extractor.extract(simple_flow)
+        assert vector[extractor.feature_names().index("duration_ms")] == pytest.approx(75.0)
+
+    def test_burst_counts(self):
+        flow = Flow(sizes=[100.0, 200.0, -300.0, -400.0, 500.0], delays=[0.0, 1.0, 1.0, 1.0, 1.0])
+        extractor = StatisticalFeatureExtractor()
+        vector = extractor.extract(flow)
+        names = extractor.feature_names()
+        assert vector[names.index("burst_count_total")] == 3
+        assert vector[names.index("direction_changes")] == 2
+
+    def test_tor_vs_https_features_differ(self, tor_dataset):
+        extractor = StatisticalFeatureExtractor()
+        censored = extractor.extract_many(tor_dataset.censored_flows[:20]).mean(axis=0)
+        benign = extractor.extract_many(tor_dataset.benign_flows[:20]).mean(axis=0)
+        assert not np.allclose(censored, benign)
+
+    def test_callable_interface(self, simple_flow):
+        extractor = StatisticalFeatureExtractor()
+        assert np.allclose(extractor(simple_flow), extractor.extract(simple_flow))
+
+
+class TestCumulFeatures:
+    def test_feature_count(self):
+        extractor = CumulFeatureExtractor(n_interpolation=50)
+        assert extractor.n_features == 4 + 100
+        assert len(extractor.feature_names()) == extractor.n_features
+
+    def test_without_timing(self):
+        extractor = CumulFeatureExtractor(n_interpolation=30, include_timing=False)
+        assert extractor.n_features == 34
+
+    def test_invalid_interpolation(self):
+        with pytest.raises(ValueError):
+            CumulFeatureExtractor(n_interpolation=1)
+
+    def test_aggregate_counters(self, simple_flow):
+        vector = CumulFeatureExtractor(n_interpolation=10).extract(simple_flow)
+        assert vector[0] == 2  # upstream packets
+        assert vector[1] == 2  # downstream packets
+        assert vector[2] == pytest.approx(1072.0)
+        assert vector[3] == pytest.approx(1608.0)
+
+    def test_cumulative_trace_endpoint(self, simple_flow):
+        extractor = CumulFeatureExtractor(n_interpolation=10, include_timing=False)
+        vector = extractor.extract(simple_flow)
+        assert vector[-1] == pytest.approx(np.cumsum(simple_flow.sizes)[-1])
+
+    def test_extract_many_shape(self, tor_dataset):
+        matrix = CumulFeatureExtractor(n_interpolation=20).extract_many(tor_dataset.flows[:6])
+        assert matrix.shape == (6, 44)
+
+
+class TestFlowNormalizer:
+    def test_invalid_scales_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNormalizer(size_scale=0.0, delay_scale=1.0)
+
+    def test_normalise_clips_to_range(self):
+        normalizer = FlowNormalizer(size_scale=1000.0, delay_scale=100.0)
+        sizes = normalizer.normalise_sizes(np.array([-5000.0, 500.0, 5000.0]))
+        assert np.all((sizes >= -1.0) & (sizes <= 1.0))
+        delays = normalizer.normalise_delays(np.array([50.0, 500.0]))
+        assert np.all((delays >= 0.0) & (delays <= 1.0))
+
+    def test_denormalise_discretises(self):
+        normalizer = FlowNormalizer(size_scale=1460.0, delay_scale=100.0)
+        assert normalizer.denormalise_size(0.5) == float(int(0.5 * 1460))
+        assert normalizer.denormalise_delay(0.33) == float(int(33))
+
+    def test_roundtrip_within_discretisation_error(self):
+        normalizer = FlowNormalizer(size_scale=1460.0, delay_scale=100.0)
+        original = 700.0
+        recovered = normalizer.denormalise_size(original / 1460.0)
+        assert abs(recovered - original) <= 1.0
+
+    def test_normalise_flow_shape(self, simple_flow):
+        normalizer = FlowNormalizer(size_scale=1460.0, delay_scale=100.0)
+        pairs = normalizer.normalise_flow(simple_flow)
+        assert pairs.shape == (4, 2)
+
+    def test_for_dataset_constructor(self):
+        normalizer = FlowNormalizer.for_dataset(1460, 250)
+        assert normalizer.size_scale == 1460.0
+        assert normalizer.delay_scale == 250.0
+
+
+class TestSequenceRepresentation:
+    def test_transform_pads_to_max_length(self, simple_flow, representation):
+        out = representation.transform(simple_flow)
+        assert out.shape == (40, 2)
+        assert np.all(out[4:] == 0.0)
+
+    def test_transform_truncates_long_flows(self, normalizer):
+        representation = SequenceRepresentation(2, normalizer)
+        flow = Flow(sizes=[100.0, -200.0, 300.0], delays=[0.0, 1.0, 1.0])
+        assert representation.transform(flow).shape == (2, 2)
+
+    def test_transform_many_and_flat(self, tor_dataset, representation):
+        flows = tor_dataset.flows[:5]
+        stacked = representation.transform_many(flows)
+        flat = representation.transform_flat(flows)
+        assert stacked.shape == (5, 40, 2)
+        assert flat.shape == (5, 80)
+        assert np.allclose(stacked.reshape(5, -1), flat)
+
+    def test_transform_pairs_validates_shape(self, representation):
+        with pytest.raises(ValueError):
+            representation.transform_pairs(np.zeros((3, 3)))
+
+    def test_invalid_max_length(self, normalizer):
+        with pytest.raises(ValueError):
+            SequenceRepresentation(0, normalizer)
+
+    def test_n_features(self, representation):
+        assert representation.n_features == 80

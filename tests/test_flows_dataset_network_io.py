@@ -1,0 +1,169 @@
+"""Unit tests for datasets, splits, network conditions and flow I/O."""
+
+import numpy as np
+import pytest
+
+from repro.flows import (
+    Flow,
+    FlowDataset,
+    FlowLabel,
+    NetworkCondition,
+    build_tor_dataset,
+    build_v2ray_dataset,
+    load_dataset,
+    load_flows_csv,
+    load_flows_jsonl,
+    save_dataset,
+    save_flows_csv,
+    save_flows_jsonl,
+)
+
+
+class TestFlowDataset:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            FlowDataset([])
+
+    def test_labels_and_balance(self, tor_dataset):
+        balance = tor_dataset.class_balance()
+        assert balance[FlowLabel.CENSORED] == 60
+        assert balance[FlowLabel.BENIGN] == 60
+
+    def test_censored_and_benign_views(self, tor_dataset):
+        assert len(tor_dataset.censored_flows) == 60
+        assert len(tor_dataset.benign_flows) == 60
+
+    def test_max_statistics_positive(self, tor_dataset):
+        assert tor_dataset.max_packet_size > 0
+        assert tor_dataset.max_delay > 0
+        assert tor_dataset.max_length > 1
+
+    def test_subset_and_filter(self, tor_dataset):
+        subset = tor_dataset.subset([0, 1, 2])
+        assert len(subset) == 3
+        censored_only = tor_dataset.filter_by_label(FlowLabel.CENSORED)
+        assert all(f.label == FlowLabel.CENSORED for f in censored_only)
+
+    def test_shuffled_preserves_contents(self, tor_dataset):
+        shuffled = tor_dataset.shuffled(rng=0)
+        assert len(shuffled) == len(tor_dataset)
+        assert shuffled.class_balance() == tor_dataset.class_balance()
+
+    def test_summary_keys(self, tor_dataset):
+        summary = tor_dataset.summary()
+        assert {"n_flows", "mean_length", "censored_fraction"} <= set(summary)
+
+    def test_iteration_and_indexing(self, tor_dataset):
+        assert isinstance(tor_dataset[0], Flow)
+        assert sum(1 for _ in tor_dataset) == len(tor_dataset)
+
+
+class TestSplits:
+    def test_split_fractions(self, tor_dataset):
+        splits = tor_dataset.split(rng=0)
+        sizes = splits.sizes()
+        assert sizes["clf_train"] + sizes["attack_train"] + sizes["validation"] + sizes["test"] == len(tor_dataset)
+        assert sizes["clf_train"] == pytest.approx(0.4 * len(tor_dataset), abs=2)
+        assert sizes["test"] == pytest.approx(0.1 * len(tor_dataset), abs=2)
+
+    def test_split_stratified_balance(self, tor_dataset):
+        splits = tor_dataset.split(rng=1, stratify=True)
+        for split in splits:
+            labels = split.labels
+            fraction = np.mean(labels == FlowLabel.CENSORED)
+            assert 0.3 < fraction < 0.7
+
+    def test_split_no_overlap(self, tor_dataset):
+        splits = tor_dataset.split(rng=2)
+        ids = [id(f) for split in splits for f in split.flows]
+        assert len(ids) == len(set(ids))
+
+    def test_invalid_fractions_rejected(self, tor_dataset):
+        with pytest.raises(ValueError):
+            tor_dataset.split(fractions=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestDatasetBuilders:
+    def test_tor_dataset_shape(self):
+        ds = build_tor_dataset(n_censored=10, n_benign=12, rng=0, max_packets=20)
+        assert len(ds) == 22
+        assert ds.name == "tor"
+
+    def test_v2ray_dataset_larger_records(self):
+        ds = build_v2ray_dataset(n_censored=10, n_benign=10, rng=0, max_packets=20)
+        assert ds.max_packet_size > 1460
+
+    def test_dataset_with_condition_renames(self):
+        condition = NetworkCondition(drop_rate=0.1)
+        ds = build_tor_dataset(n_censored=5, n_benign=5, rng=0, condition=condition, max_packets=15)
+        assert "drop" in ds.name
+
+
+class TestNetworkCondition:
+    def test_invalid_drop_rate(self):
+        with pytest.raises(ValueError):
+            NetworkCondition(drop_rate=1.5)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkCondition(bandwidth_kbps=0.0)
+
+    def test_zero_condition_preserves_packet_count(self, simple_flow):
+        out = NetworkCondition().apply(simple_flow, rng=0)
+        assert out.n_packets == simple_flow.n_packets
+        assert np.allclose(out.sizes, simple_flow.sizes)
+
+    def test_drops_add_retransmissions(self, simple_flow):
+        condition = NetworkCondition(drop_rate=0.9)
+        out = condition.apply(simple_flow, rng=0)
+        assert out.n_packets > simple_flow.n_packets
+
+    def test_retransmissions_duplicate_sizes(self, simple_flow):
+        condition = NetworkCondition(drop_rate=1.0)
+        out = condition.apply(simple_flow, rng=0)
+        assert out.n_packets == 2 * simple_flow.n_packets
+        assert np.allclose(out.sizes[0::2], simple_flow.sizes)
+        assert np.allclose(out.sizes[1::2], simple_flow.sizes)
+
+    def test_jitter_increases_duration(self, simple_flow):
+        condition = NetworkCondition(congestion_jitter_ms=50.0)
+        out = condition.apply(simple_flow, rng=0)
+        assert out.duration >= simple_flow.duration
+
+    def test_bandwidth_adds_serialisation_delay(self, simple_flow):
+        condition = NetworkCondition(bandwidth_kbps=100.0)
+        out = condition.apply(simple_flow, rng=0)
+        assert out.duration > simple_flow.duration
+
+    def test_metadata_records_drop_rate(self, simple_flow):
+        out = NetworkCondition(drop_rate=0.25).apply(simple_flow, rng=0)
+        assert out.metadata["drop_rate"] == 0.25
+
+    def test_apply_many_length(self, tor_dataset):
+        condition = NetworkCondition(drop_rate=0.05)
+        flows = condition.apply_many(tor_dataset.flows[:5], rng=0)
+        assert len(flows) == 5
+
+
+class TestIO:
+    def test_jsonl_roundtrip(self, tmp_path, tor_dataset):
+        path = tmp_path / "flows.jsonl"
+        save_flows_jsonl(tor_dataset.flows[:8], path)
+        loaded = load_flows_jsonl(path)
+        assert len(loaded) == 8
+        assert np.allclose(loaded[0].sizes, tor_dataset.flows[0].sizes)
+
+    def test_csv_roundtrip(self, tmp_path, tor_dataset):
+        path = tmp_path / "flows.csv"
+        save_flows_csv(tor_dataset.flows[:5], path)
+        loaded = load_flows_csv(path)
+        assert len(loaded) == 5
+        assert np.allclose(loaded[2].delays, tor_dataset.flows[2].delays)
+        assert loaded[2].label == tor_dataset.flows[2].label
+
+    def test_dataset_roundtrip(self, tmp_path, tor_dataset):
+        path = tmp_path / "dataset.jsonl"
+        save_dataset(tor_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.name == tor_dataset.name
+        assert len(loaded) == len(tor_dataset)

@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.flows import (
+    TCP_MSS,
+    TLS_MAX_RECORD,
+    TOR_CELL_SIZE,
+    FlowLabel,
+    HTTPSFlowGenerator,
+    HTTPSRecordFlowGenerator,
+    TorFlowGenerator,
+    V2RayFlowGenerator,
+)
+
+
+class TestTorGenerator:
+    def test_label_and_protocol(self):
+        flow = TorFlowGenerator(rng=0).generate()
+        assert flow.label == FlowLabel.CENSORED
+        assert flow.protocol == "tor"
+
+    def test_sizes_are_cell_multiples(self):
+        flow = TorFlowGenerator(rng=1).generate()
+        remainders = np.abs(flow.sizes) % TOR_CELL_SIZE
+        assert np.all(remainders == 0)
+
+    def test_bidirectional(self):
+        flow = TorFlowGenerator(rng=2).generate()
+        assert np.any(flow.sizes > 0) and np.any(flow.sizes < 0)
+
+    def test_first_delay_zero(self):
+        flow = TorFlowGenerator(rng=3).generate()
+        assert flow.delays[0] == 0.0
+
+    def test_max_packets_respected(self):
+        flow = TorFlowGenerator(rng=4, max_packets=25).generate()
+        assert flow.n_packets <= 25
+
+    def test_generate_many_count(self):
+        flows = TorFlowGenerator(rng=5).generate_many(7)
+        assert len(flows) == 7
+
+    def test_generate_many_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TorFlowGenerator(rng=0).generate_many(-1)
+
+    def test_circuit_latency_visible_in_downstream_delays(self):
+        generator = TorFlowGenerator(rng=6, circuit_latency_ms=150.0)
+        flow = generator.generate()
+        assert flow.delays.max() > 50.0
+
+
+class TestHTTPSGenerator:
+    def test_label_benign(self):
+        flow = HTTPSFlowGenerator(rng=0).generate()
+        assert flow.label == FlowLabel.BENIGN
+
+    def test_sizes_bounded_by_mss(self):
+        flow = HTTPSFlowGenerator(rng=1).generate()
+        assert np.abs(flow.sizes).max() <= TCP_MSS
+
+    def test_not_cell_quantised(self):
+        # Across several flows, plenty of packet sizes should NOT be multiples
+        # of the Tor cell size — that is the distinguishing feature.
+        flows = HTTPSFlowGenerator(rng=2).generate_many(10)
+        sizes = np.concatenate([np.abs(f.sizes) for f in flows])
+        non_multiples = np.mean(sizes % TOR_CELL_SIZE != 0)
+        assert non_multiples > 0.5
+
+    def test_download_heavier_than_upload(self):
+        flows = HTTPSFlowGenerator(rng=3).generate_many(10)
+        down = sum(f.downstream_bytes for f in flows)
+        up = sum(f.upstream_bytes for f in flows)
+        assert down > up
+
+
+class TestV2RayGenerator:
+    def test_label_and_protocol(self):
+        flow = V2RayFlowGenerator(rng=0).generate()
+        assert flow.label == FlowLabel.CENSORED
+        assert flow.protocol == "v2ray"
+
+    def test_record_sizes_within_tls_limit(self):
+        flow = V2RayFlowGenerator(rng=1).generate()
+        assert np.abs(flow.sizes).max() <= TLS_MAX_RECORD
+
+    def test_inner_handshake_pattern_at_start(self):
+        flow = V2RayFlowGenerator(rng=2).generate()
+        # first packet upstream (inner ClientHello), second downstream (cert burst)
+        assert flow.sizes[0] > 0
+        assert flow.sizes[1] < 0
+
+    def test_records_larger_than_mtu_exist(self):
+        flows = V2RayFlowGenerator(rng=3).generate_many(5)
+        assert any(np.abs(f.sizes).max() > TCP_MSS for f in flows)
+
+
+class TestHTTPSRecordGenerator:
+    def test_label_benign(self):
+        flow = HTTPSRecordFlowGenerator(rng=0).generate()
+        assert flow.label == FlowLabel.BENIGN
+
+    def test_max_size_records_common(self):
+        flows = HTTPSRecordFlowGenerator(rng=1).generate_many(10)
+        sizes = np.concatenate([np.abs(f.sizes) for f in flows])
+        assert np.any(sizes == TLS_MAX_RECORD)
+
+    def test_statistically_different_from_v2ray(self):
+        """The benign and censored record-level generators must differ in the
+        fraction of maximal-size records (the artefact classifiers learn)."""
+        https = HTTPSRecordFlowGenerator(rng=2).generate_many(20)
+        v2ray = V2RayFlowGenerator(rng=2).generate_many(20)
+        https_max_fraction = np.mean(
+            [np.mean(np.abs(f.sizes) == TLS_MAX_RECORD) for f in https]
+        )
+        v2ray_max_fraction = np.mean(
+            [np.mean(np.abs(f.sizes) == TLS_MAX_RECORD) for f in v2ray]
+        )
+        assert https_max_fraction > v2ray_max_fraction
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator_cls",
+        [TorFlowGenerator, HTTPSFlowGenerator, V2RayFlowGenerator, HTTPSRecordFlowGenerator],
+    )
+    def test_seeded_generators_are_reproducible(self, generator_cls):
+        a = generator_cls(rng=99).generate()
+        b = generator_cls(rng=99).generate()
+        assert np.allclose(a.sizes, b.sizes)
+        assert np.allclose(a.delays, b.delays)

@@ -1,0 +1,179 @@
+"""Unit tests for SVMs, scalers and classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KernelSVM,
+    LinearSVM,
+    MinMaxScaler,
+    StandardScaler,
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    rbf_kernel,
+)
+
+
+def linear_data(seed=0, n=100):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def circular_data(seed=0, n=150):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, size=(n, 2))
+    y = (np.linalg.norm(X, axis=1) < 1.2).astype(int)
+    return X, y
+
+
+class TestLinearSVM:
+    def test_separable_accuracy(self):
+        X, y = linear_data()
+        svm = LinearSVM(C=10.0, epochs=30, rng=0).fit(X, y)
+        assert svm.score(X, y) > 0.95
+
+    def test_decision_function_sign_matches_prediction(self):
+        X, y = linear_data()
+        svm = LinearSVM(rng=0).fit(X, y)
+        scores = svm.decision_function(X)
+        assert np.array_equal((scores >= 0).astype(int), svm.predict(X))
+
+    def test_predict_proba_in_unit_interval(self):
+        X, y = linear_data()
+        svm = LinearSVM(rng=0).fit(X, y)
+        proba = svm.predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_rejects_nonbinary_labels(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+
+    def test_rejects_invalid_c(self):
+        with pytest.raises(ValueError):
+            LinearSVM(C=0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.zeros((1, 2)))
+
+
+class TestKernelSVM:
+    def test_rbf_solves_circular_problem(self):
+        X, y = circular_data()
+        svm = KernelSVM(kernel="rbf", C=10.0, epochs=20, rng=0).fit(X, y)
+        assert svm.score(X, y) > 0.9
+
+    def test_linear_kernel_on_linear_problem(self):
+        X, y = linear_data()
+        svm = KernelSVM(kernel="linear", epochs=20, rng=0).fit(X, y)
+        assert svm.score(X, y) > 0.9
+
+    def test_poly_kernel_runs(self):
+        X, y = linear_data()
+        svm = KernelSVM(kernel="poly", gamma=1.0, epochs=10, rng=0).fit(X, y)
+        assert 0.5 <= svm.score(X, y) <= 1.0
+
+    def test_unknown_kernel_rejected(self):
+        X, y = linear_data()
+        with pytest.raises(ValueError):
+            KernelSVM(kernel="bogus").fit(X, y)
+
+    def test_support_vectors_recorded(self):
+        X, y = circular_data()
+        svm = KernelSVM(epochs=5, rng=0).fit(X, y)
+        assert 0 < svm.n_support_ <= len(X)
+
+    def test_predict_proba_monotone_in_margin(self):
+        X, y = circular_data()
+        svm = KernelSVM(epochs=10, rng=0).fit(X, y)
+        margins = svm.decision_function(X)
+        probs = svm.predict_proba(X)[:, 1]
+        order = np.argsort(margins)
+        assert np.all(np.diff(probs[order]) >= -1e-9)
+
+    def test_rbf_kernel_diagonal_is_one(self):
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_kernel_symmetric_positive(self):
+        X = np.random.default_rng(0).normal(size=(6, 2))
+        K = rbf_kernel(X, X, gamma=1.0)
+        assert np.allclose(K, K.T)
+        assert np.all(K > 0)
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_var(self):
+        X = np.random.default_rng(0).normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_inverse_roundtrip(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_standard_scaler_constant_feature_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+
+    def test_minmax_scaler_range(self):
+        X = np.random.default_rng(0).uniform(-5, 5, size=(100, 3))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+
+    def test_minmax_inverse_roundtrip(self):
+        X = np.random.default_rng(0).uniform(-5, 5, size=(30, 2))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestMetrics:
+    def test_confusion_matrix_counts(self):
+        cm = confusion_matrix([1, 1, 0, 0], [1, 0, 0, 1])
+        assert cm == {"tp": 1, "fp": 1, "tn": 1, "fn": 1}
+
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == pytest.approx(0.75)
+
+    def test_precision_recall_f1_perfect(self):
+        y = [1, 0, 1, 0]
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_f1_zero_when_no_positive_predictions(self):
+        assert f1_score([1, 1, 0], [0, 0, 0]) == 0.0
+
+    def test_precision_zero_denominator(self):
+        assert precision_score([0, 0], [0, 0]) == 0.0
+
+    def test_classification_report_fields(self):
+        report = classification_report([1, 0, 1, 0], [1, 0, 0, 0])
+        d = report.as_dict()
+        assert set(d) == {"accuracy", "precision", "recall", "f1", "support"}
+        assert d["support"] == 4
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 0], [1])
+
+    def test_empty_labels_raise(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])

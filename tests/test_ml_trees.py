@@ -1,0 +1,150 @@
+"""Unit tests for the decision tree and random forest substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+
+def make_blobs(seed=0, n=100, separation=4.0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0.0, 1.0, size=(n, 4))
+    X1 = rng.normal(separation, 1.0, size=(n, 4))
+    X = np.vstack([X0, X1])
+    y = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    return X, y
+
+
+def make_xor(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_separable_data_perfect_fit(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_xor_requires_depth_two(self):
+        X, y = make_xor()
+        tree = DecisionTreeClassifier(max_depth=4, rng=0).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_max_depth_limits_tree(self):
+        X, y = make_xor()
+        stump = DecisionTreeClassifier(max_depth=1, rng=0).fit(X, y)
+        assert stump.depth <= 1
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_importance_concentrates_on_informative_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 5))
+        y = (X[:, 2] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 2
+
+    def test_single_class_training(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        y = np.ones(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.all(tree.predict(X) == 1)
+
+    def test_constant_features_produce_leaf(self):
+        X = np.ones((20, 3))
+        y = np.concatenate([np.zeros(10, dtype=int), np.ones(10, dtype=int)])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth == 0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((1, 7)))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_invalid_min_samples_split(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_n_leaves_positive(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.n_leaves >= 2
+
+    def test_multiclass_labels(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(c * 5, 1, size=(30, 2)) for c in range(3)])
+        y = np.repeat(np.arange(3), 30)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) > 0.95
+        assert set(tree.predict(X)) <= {0, 1, 2}
+
+
+class TestRandomForest:
+    def test_forest_fits_xor(self):
+        X, y = make_xor()
+        forest = RandomForestClassifier(n_estimators=15, max_depth=6, rng=0).fit(X, y)
+        assert forest.score(X, y) > 0.95
+
+    def test_generalisation_on_blobs(self):
+        X, y = make_blobs(seed=1)
+        X_test, y_test = make_blobs(seed=2)
+        forest = RandomForestClassifier(n_estimators=10, rng=0).fit(X, y)
+        assert forest.score(X_test, y_test) > 0.95
+
+    def test_predict_proba_shape(self):
+        X, y = make_blobs()
+        forest = RandomForestClassifier(n_estimators=5, rng=0).fit(X, y)
+        assert forest.predict_proba(X).shape == (len(X), 2)
+
+    def test_feature_importances_shape_and_normalisation(self):
+        X, y = make_blobs()
+        forest = RandomForestClassifier(n_estimators=5, rng=0).fit(X, y)
+        assert forest.feature_importances_.shape == (4,)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_bootstrap_disabled(self):
+        X, y = make_blobs()
+        forest = RandomForestClassifier(n_estimators=3, bootstrap=False, rng=0).fit(X, y)
+        assert forest.score(X, y) == 1.0
+
+    def test_max_features_options(self):
+        X, y = make_blobs()
+        for option in ("sqrt", "log2", 2, None):
+            forest = RandomForestClassifier(n_estimators=3, max_features=option, rng=0).fit(X, y)
+            assert forest.score(X, y) > 0.9
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_deterministic_with_seed(self):
+        X, y = make_xor()
+        a = RandomForestClassifier(n_estimators=5, rng=42).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=5, rng=42).fit(X, y).predict(X)
+        assert np.array_equal(a, b)

@@ -1,0 +1,119 @@
+"""Unit tests for optimizers, gradient clipping and model persistence."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.serialization import load_metadata
+
+
+def make_regression_problem(seed=0, n=64, d=4):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    true_w = rng.normal(size=(d, 1))
+    y = X @ true_w + 0.01 * rng.normal(size=(n, 1))
+    return X, y
+
+
+def train_linear(optimizer_cls, steps=200, **kwargs):
+    X, y = make_regression_problem()
+    model = nn.Linear(4, 1, rng=np.random.default_rng(1))
+    optimizer = optimizer_cls(model.parameters(), **kwargs)
+    for _ in range(steps):
+        loss = F.mse_loss(model(nn.Tensor(X)), nn.Tensor(y))
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return F.mse_loss(model(nn.Tensor(X)), nn.Tensor(y)).item()
+
+
+class TestOptimizers:
+    def test_sgd_reduces_loss(self):
+        assert train_linear(nn.SGD, lr=0.05) < 0.05
+
+    def test_sgd_momentum_reduces_loss(self):
+        assert train_linear(nn.SGD, lr=0.01, momentum=0.9) < 0.05
+
+    def test_adam_reduces_loss(self):
+        assert train_linear(nn.Adam, lr=0.05) < 0.05
+
+    def test_rmsprop_reduces_loss(self):
+        assert train_linear(nn.RMSProp, lr=0.01) < 0.05
+
+    def test_adam_weight_decay_shrinks_weights(self):
+        model = nn.Linear(3, 1, rng=np.random.default_rng(0))
+        optimizer = nn.Adam(model.parameters(), lr=0.1, weight_decay=1.0)
+        before = np.abs(model.weight.data).mean()
+        for _ in range(50):
+            loss = (model(nn.Tensor(np.zeros((4, 3)))) ** 2).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(model.weight.data).mean() < before
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD(nn.Linear(2, 2).parameters(), lr=-1.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        layer = nn.Linear(2, 2)
+        optimizer = nn.Adam(layer.parameters(), lr=0.1)
+        before = layer.weight.data.copy()
+        optimizer.step()  # no backward yet
+        assert np.allclose(before, layer.weight.data)
+
+
+class TestGradClipping:
+    def test_clip_reduces_norm(self):
+        layer = nn.Linear(2, 2)
+        (layer(nn.Tensor(np.full((8, 2), 100.0))) ** 2).sum().backward()
+        pre_norm = nn.clip_grad_norm(layer.parameters(), max_norm=1.0)
+        post = np.sqrt(sum(float((p.grad ** 2).sum()) for p in layer.parameters() if p.grad is not None))
+        assert pre_norm > 1.0
+        assert post == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_noop_when_below_threshold(self):
+        layer = nn.Linear(2, 2)
+        (layer(nn.Tensor(np.full((1, 2), 1e-4))) ** 2).sum().backward()
+        grads_before = [p.grad.copy() for p in layer.parameters()]
+        nn.clip_grad_norm(layer.parameters(), max_norm=100.0)
+        for before, param in zip(grads_before, layer.parameters()):
+            assert np.allclose(before, param.grad)
+
+    def test_clip_with_no_grads_returns_zero(self):
+        assert nn.clip_grad_norm(nn.Linear(2, 2).parameters(), 1.0) == 0.0
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = nn.Sequential(nn.Linear(3, 4, rng=np.random.default_rng(0)), nn.Tanh(), nn.Linear(4, 1))
+        path = tmp_path / "model.npz"
+        nn.save_module(model, path, metadata={"note": "test"})
+        clone = nn.Sequential(nn.Linear(3, 4, rng=np.random.default_rng(9)), nn.Tanh(), nn.Linear(4, 1))
+        nn.load_module(clone, path)
+        x = nn.Tensor(np.random.default_rng(2).normal(size=(5, 3)))
+        assert np.allclose(model(x).data, clone(x).data)
+
+    def test_metadata_roundtrip(self, tmp_path):
+        model = nn.Linear(2, 2)
+        path = tmp_path / "meta.npz"
+        nn.save_module(model, path, metadata={"epoch": 3})
+        assert load_metadata(path)["epoch"] == 3
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        model = nn.Linear(2, 2)
+        path = tmp_path / "nested" / "dir" / "model.npz"
+        nn.save_module(model, path)
+        assert path.exists()
+
+    def test_state_dict_save_without_suffix(self, tmp_path):
+        model = nn.Linear(2, 2)
+        path = tmp_path / "weights"
+        nn.save_module(model, path)
+        loaded = nn.load_state_dict(path)
+        assert "weight" in loaded

@@ -1,0 +1,135 @@
+"""Unit tests for recurrent (GRU/LSTM) and convolutional layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestGRU:
+    def test_cell_output_shape(self):
+        cell = nn.GRUCell(3, 5, rng=np.random.default_rng(0))
+        h = cell(nn.Tensor(np.zeros((2, 3))), cell.initial_state(2))
+        assert h.shape == (2, 5)
+
+    def test_sequence_output_shapes(self):
+        gru = nn.GRU(2, 4, num_layers=2, rng=np.random.default_rng(0))
+        out, hidden = gru(nn.Tensor(np.zeros((3, 7, 2))))
+        assert out.shape == (3, 7, 4)
+        assert len(hidden) == 2
+        assert hidden[0].shape == (3, 4)
+
+    def test_zero_input_zero_initial_state_stays_bounded(self):
+        gru = nn.GRU(2, 4, rng=np.random.default_rng(0))
+        out, _ = gru(nn.Tensor(np.zeros((1, 10, 2))))
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_hidden_state_carries_information(self):
+        gru = nn.GRU(1, 3, rng=np.random.default_rng(0))
+        seq_a = nn.Tensor(np.ones((1, 5, 1)))
+        seq_b = nn.Tensor(-np.ones((1, 5, 1)))
+        _, ha = gru(seq_a)
+        _, hb = gru(seq_b)
+        assert not np.allclose(ha[-1].data, hb[-1].data)
+
+    def test_gradients_flow_through_time(self):
+        gru = nn.GRU(2, 3, num_layers=2, rng=np.random.default_rng(0))
+        x = nn.Tensor(np.random.default_rng(1).normal(size=(2, 6, 2)), requires_grad=True)
+        out, _ = gru(x)
+        (out ** 2).mean().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in gru.parameters())
+
+    def test_variable_length_sequences_accepted(self):
+        gru = nn.GRU(2, 4, rng=np.random.default_rng(0))
+        for length in (1, 3, 9):
+            out, _ = gru(nn.Tensor(np.zeros((1, length, 2))))
+            assert out.shape == (1, length, 4)
+
+
+class TestLSTM:
+    def test_cell_returns_hidden_and_cell(self):
+        cell = nn.LSTMCell(3, 4, rng=np.random.default_rng(0))
+        h, c = cell(nn.Tensor(np.zeros((2, 3))), cell.initial_state(2))
+        assert h.shape == (2, 4)
+        assert c.shape == (2, 4)
+
+    def test_forget_gate_bias_initialised_to_one(self):
+        cell = nn.LSTMCell(3, 4)
+        assert np.allclose(cell.b_f.data, 1.0)
+
+    def test_sequence_shapes(self):
+        lstm = nn.LSTM(2, 5, num_layers=2, rng=np.random.default_rng(0))
+        out, state = lstm(nn.Tensor(np.zeros((4, 6, 2))))
+        assert out.shape == (4, 6, 5)
+        assert len(state) == 2
+
+    def test_gradients_exist(self):
+        lstm = nn.LSTM(2, 3, rng=np.random.default_rng(0))
+        out, _ = lstm(nn.Tensor(np.random.default_rng(1).normal(size=(2, 4, 2))))
+        (out ** 2).mean().backward()
+        assert all(p.grad is not None for p in lstm.parameters())
+
+
+class TestConv1d:
+    def test_output_shape_with_padding(self):
+        conv = nn.Conv1d(2, 6, kernel_size=3, padding=1, rng=np.random.default_rng(0))
+        out = conv(nn.Tensor(np.zeros((4, 2, 20))))
+        assert out.shape == (4, 6, 20)
+
+    def test_output_shape_with_stride(self):
+        conv = nn.Conv1d(1, 3, kernel_size=3, stride=2, rng=np.random.default_rng(0))
+        out = conv(nn.Tensor(np.zeros((1, 1, 11))))
+        assert out.shape == (1, 3, 5)
+
+    def test_rejects_wrong_rank(self):
+        conv = nn.Conv1d(1, 1, kernel_size=3)
+        with pytest.raises(ValueError):
+            conv(nn.Tensor(np.zeros((3, 5))))
+
+    def test_known_convolution_value(self):
+        conv = nn.Conv1d(1, 1, kernel_size=2)
+        conv.weight.data = np.array([[1.0], [1.0]])  # sum of the window
+        conv.bias.data = np.zeros(1)
+        out = conv(nn.Tensor(np.array([[[1.0, 2.0, 3.0]]])))
+        assert np.allclose(out.data, [[[3.0, 5.0]]])
+
+    def test_weight_gradient_numerically(self):
+        rng = np.random.default_rng(0)
+        conv = nn.Conv1d(2, 3, kernel_size=3, padding=1, rng=rng)
+        x = np.random.default_rng(1).normal(size=(2, 2, 8))
+        out = conv(nn.Tensor(x))
+        (out ** 2).mean().backward()
+        analytic = conv.weight.grad[0, 0]
+        eps = 1e-6
+        original = conv.weight.data[0, 0]
+        conv.weight.data[0, 0] = original + eps
+        plus = (conv(nn.Tensor(x)) ** 2).mean().item()
+        conv.weight.data[0, 0] = original - eps
+        minus = (conv(nn.Tensor(x)) ** 2).mean().item()
+        conv.weight.data[0, 0] = original
+        assert analytic == pytest.approx((plus - minus) / (2 * eps), abs=1e-6)
+
+
+class TestPooling:
+    def test_maxpool_shape_and_values(self):
+        pool = nn.MaxPool1d(2)
+        out = pool(nn.Tensor(np.array([[[1.0, 3.0, 2.0, 5.0]]])))
+        assert np.allclose(out.data, [[[3.0, 5.0]]])
+
+    def test_maxpool_gradient_goes_to_max(self):
+        pool = nn.MaxPool1d(2)
+        x = nn.Tensor(np.array([[[1.0, 3.0, 2.0, 5.0]]]), requires_grad=True)
+        pool(x).sum().backward()
+        assert np.allclose(x.grad, [[[0.0, 1.0, 0.0, 1.0]]])
+
+    def test_maxpool_rejects_oversized_window(self):
+        pool = nn.MaxPool1d(10)
+        with pytest.raises(ValueError):
+            pool(nn.Tensor(np.zeros((1, 1, 4))))
+
+    def test_global_average_pool(self):
+        pool = nn.GlobalAveragePool1d()
+        out = pool(nn.Tensor(np.ones((2, 3, 4))))
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, 1.0)

@@ -1,0 +1,230 @@
+"""Unit tests for the autodiff tensor core."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor, as_tensor, no_grad
+
+
+def numerical_gradient(fn, x, eps=1e-6):
+    """Central-difference gradient of a scalar-valued fn at array x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        plus = fn(x)
+        flat[i] = old - eps
+        minus = fn(x)
+        flat[i] = old
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_construction_from_tensor_shares_data(self):
+        base = Tensor([1.0, 2.0])
+        wrapped = Tensor(base)
+        assert np.array_equal(wrapped.data, base.data)
+
+    def test_requires_grad_flag(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert t.requires_grad
+
+    def test_item_returns_scalar(self):
+        assert Tensor([[3.5]]).item() == pytest.approx(3.5)
+
+    def test_detach_breaks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_len_and_ndim(self):
+        t = Tensor(np.zeros((4, 2)))
+        assert len(t) == 4
+        assert t.ndim == 2
+        assert t.size == 8
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_needs_grad_for_nonscalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+
+class TestArithmeticGradients:
+    def test_add_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_gradient(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5.0, 7.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([4.0], requires_grad=True)
+        (1.0 - a).backward()
+        assert np.allclose(a.grad, [-1.0])
+
+    def test_div_gradient(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (a / b).backward()
+        assert np.allclose(a.grad, [1.0 / 3.0])
+        assert np.allclose(b.grad, [-6.0 / 9.0])
+
+    def test_pow_gradient(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_broadcast_add_unbroadcasts_gradient(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 2)
+        assert b.grad.shape == (2,)
+        assert np.allclose(b.grad, [3.0, 3.0])
+
+    def test_scalar_broadcast(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        assert np.allclose(a.grad, [2.0, 2.0, 2.0])
+
+    def test_gradient_accumulates_over_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).backward()
+        assert np.allclose(a.grad, [4.0])
+
+
+class TestUnaryGradients:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "log", "tanh", "sigmoid", "relu", "abs", "sqrt"],
+    )
+    def test_matches_numerical(self, op):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.2, 1.5, size=(3, 2))
+        t = Tensor(x.copy(), requires_grad=True)
+        getattr(t, op)().sum().backward()
+        numeric = numerical_gradient(lambda arr: getattr(Tensor(arr), op)().sum().item(), x.copy())
+        assert np.allclose(t.grad, numeric, atol=1e-5)
+
+    def test_clip_gradient_masks_out_of_range(self):
+        t = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_relu_zero_below(self):
+        t = Tensor([-1.0, 2.0], requires_grad=True)
+        t.relu().sum().backward()
+        assert np.allclose(t.grad, [0.0, 1.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(t.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        t.mean().backward()
+        assert np.allclose(t.grad, 0.25 * np.ones((2, 2)))
+
+    def test_max_gradient_to_argmax(self):
+        t = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        t.max().backward()
+        assert np.allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_matmul_gradcheck(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        (ta @ tb).sum().backward()
+        na = numerical_gradient(lambda arr: (Tensor(arr) @ Tensor(b)).sum().item(), a.copy())
+        nb = numerical_gradient(lambda arr: (Tensor(a) @ Tensor(arr)).sum().item(), b.copy())
+        assert np.allclose(ta.grad, na, atol=1e-5)
+        assert np.allclose(tb.grad, nb, atol=1e-5)
+
+    def test_transpose_roundtrip_gradient(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        t.T.sum().backward()
+        assert t.grad.shape == (2, 3)
+
+    def test_reshape_gradient(self):
+        t = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        t.reshape(2, 3).sum().backward()
+        assert t.grad.shape == (6,)
+
+    def test_getitem_gradient(self):
+        t = Tensor(np.arange(5, dtype=float), requires_grad=True)
+        t[1:3].sum().backward()
+        assert np.allclose(t.grad, [0, 1, 1, 0, 0])
+
+    def test_concatenate_gradient_split(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        Tensor.concatenate([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+    def test_stack_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        Tensor.stack([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+        assert np.allclose(b.grad, np.ones(3))
+
+    def test_where_selects_gradient_paths(self):
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        Tensor.where(np.array([True, False]), a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        with no_grad():
+            a = Tensor([1.0], requires_grad=True)
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert nn.is_grad_enabled()
+        with no_grad():
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_comparison_operators_return_arrays(self):
+        a = Tensor([1.0, 3.0])
+        assert (a > 2.0).tolist() == [False, True]
+        assert (a <= 3.0).tolist() == [True, True]

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.core import AmoebaConfig, AdversarialFlowEnv, compute_gae
+from repro.eval import empirical_cdf
+from repro.features import CumulFeatureExtractor, FlowNormalizer, StatisticalFeatureExtractor
+from repro.flows import Flow, FlowLabel, NetworkCondition
+from repro.ml import StandardScaler, accuracy_score, f1_score
+
+# Strategy: a syntactically valid flow — non-zero signed sizes, non-negative delays.
+sizes_strategy = st.lists(
+    st.one_of(
+        st.integers(min_value=1, max_value=16384),
+        st.integers(min_value=-16384, max_value=-1),
+    ),
+    min_size=1,
+    max_size=30,
+)
+delays_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False), min_size=1, max_size=30
+)
+
+
+def make_flow(sizes, delays):
+    length = min(len(sizes), len(delays))
+    return Flow(
+        sizes=np.asarray(sizes[:length], dtype=float),
+        delays=np.asarray(delays[:length], dtype=float),
+        label=FlowLabel.CENSORED,
+    )
+
+
+class TestFlowProperties:
+    @given(sizes=sizes_strategy, delays=delays_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_byte_accounting_consistent(self, sizes, delays):
+        flow = make_flow(sizes, delays)
+        assert flow.upstream_bytes + flow.downstream_bytes == pytest.approx(flow.total_bytes)
+        assert flow.n_packets == len(flow.sizes)
+
+    @given(sizes=sizes_strategy, delays=delays_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_dict_roundtrip_preserves_flow(self, sizes, delays):
+        flow = make_flow(sizes, delays)
+        restored = Flow.from_dict(flow.to_dict())
+        assert np.allclose(restored.sizes, flow.sizes)
+        assert np.allclose(restored.delays, flow.delays)
+
+    @given(sizes=sizes_strategy, delays=delays_strategy, length=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_never_longer_than_flow(self, sizes, delays, length):
+        flow = make_flow(sizes, delays)
+        prefix = flow.prefix(length)
+        assert 1 <= prefix.n_packets <= flow.n_packets
+
+    @given(sizes=sizes_strategy, delays=delays_strategy, drop=st.floats(0.0, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_network_condition_never_loses_payload(self, sizes, delays, drop):
+        flow = make_flow(sizes, delays)
+        degraded = NetworkCondition(drop_rate=drop).apply(flow, rng=0)
+        # Retransmission duplicates packets; payload on the wire never shrinks.
+        assert degraded.total_bytes >= flow.total_bytes
+        assert degraded.n_packets >= flow.n_packets
+
+
+class TestFeatureProperties:
+    @given(sizes=sizes_strategy, delays=delays_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_statistical_features_always_finite_and_166(self, sizes, delays):
+        flow = make_flow(sizes, delays)
+        vector = StatisticalFeatureExtractor().extract(flow)
+        assert vector.shape == (166,)
+        assert np.all(np.isfinite(vector))
+
+    @given(sizes=sizes_strategy, delays=delays_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_cumul_features_finite(self, sizes, delays):
+        flow = make_flow(sizes, delays)
+        vector = CumulFeatureExtractor(n_interpolation=20).extract(flow)
+        assert np.all(np.isfinite(vector))
+
+    @given(
+        sizes=sizes_strategy,
+        delays=delays_strategy,
+        size_scale=st.floats(100.0, 20000.0),
+        delay_scale=st.floats(10.0, 1000.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_normaliser_output_ranges(self, sizes, delays, size_scale, delay_scale):
+        flow = make_flow(sizes, delays)
+        normalizer = FlowNormalizer(size_scale=size_scale, delay_scale=delay_scale)
+        pairs = normalizer.normalise_flow(flow)
+        assert np.all(pairs[:, 0] >= -1.0) and np.all(pairs[:, 0] <= 1.0)
+        assert np.all(pairs[:, 1] >= 0.0) and np.all(pairs[:, 1] <= 1.0)
+
+
+class TestMLProperties:
+    @given(
+        labels=st.lists(st.integers(0, 1), min_size=2, max_size=50),
+        predictions=st.lists(st.integers(0, 1), min_size=2, max_size=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_metric_ranges(self, labels, predictions):
+        length = min(len(labels), len(predictions))
+        labels, predictions = labels[:length], predictions[:length]
+        assert 0.0 <= accuracy_score(labels, predictions) <= 1.0
+        assert 0.0 <= f1_score(labels, predictions) <= 1.0
+
+    @given(st.integers(2, 30), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_standard_scaler_idempotent_statistics(self, n, d):
+        X = np.random.default_rng(n * 7 + d).normal(size=(n, d)) * 3 + 1
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-8)
+
+
+class TestTensorProperties:
+    @given(
+        data=st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sigmoid_output_in_unit_interval(self, data):
+        out = nn.Tensor(np.asarray(data)).sigmoid().data
+        assert np.all((out > 0) & (out < 1))
+
+    @given(
+        data=st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sum_gradient_is_all_ones(self, data):
+        t = nn.Tensor(np.asarray(data), requires_grad=True)
+        t.sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_shape_contract(self, n, m):
+        a = nn.Tensor(np.zeros((n, 3)))
+        b = nn.Tensor(np.zeros((3, m)))
+        assert (a @ b).shape == (n, m)
+
+
+class TestGAEProperties:
+    @given(
+        rewards=st.lists(st.floats(-1, 1, allow_nan=False), min_size=1, max_size=20),
+        gamma=st.floats(0.5, 0.999),
+        lam=st.floats(0.5, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_returns_equal_advantages_plus_values(self, rewards, gamma, lam):
+        T = len(rewards)
+        rewards_arr = np.asarray(rewards).reshape(T, 1)
+        values = np.zeros((T, 1))
+        dones = np.zeros((T, 1), dtype=bool)
+        dones[-1, 0] = True
+        advantages, returns = compute_gae(rewards_arr, values, dones, np.zeros(1), gamma, lam)
+        assert np.allclose(returns, advantages + values)
+        assert np.all(np.isfinite(advantages))
+
+
+class TestEnvironmentProperties:
+    @given(
+        sizes=st.lists(st.integers(100, 1460), min_size=1, max_size=6),
+        actions=st.lists(
+            st.tuples(st.floats(-1, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+            min_size=30,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_payload_always_delivered(self, sizes, actions, trained_dt_censor, normalizer):
+        """Constraint (1) holds for arbitrary flows and arbitrary action sequences."""
+        signs = [1 if i % 2 == 0 else -1 for i in range(len(sizes))]
+        flow = Flow(
+            sizes=[s * sign for s, sign in zip(sizes, signs)],
+            delays=[0.0] + [1.0] * (len(sizes) - 1),
+            label=FlowLabel.CENSORED,
+        )
+        config = AmoebaConfig.for_tor(max_episode_steps=60, reward_mask_rate=1.0)
+        env = AdversarialFlowEnv(trained_dt_censor, normalizer, config, [flow], rng=0)
+        env.reset()
+        done = False
+        index = 0
+        while not done and index < len(actions):
+            _, _, done, info = env.step(np.asarray(actions[index]))
+            index += 1
+        if done:
+            adversarial = info["episode"].adversarial_flow
+            assert np.abs(adversarial.sizes).sum() >= np.abs(flow.sizes).sum() - 1e-6
+
+
+class TestECDFProperties:
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_ecdf_final_probability_is_one(self, samples):
+        ecdf = empirical_cdf(samples)
+        assert ecdf.probabilities[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(ecdf.probabilities) >= 0)
