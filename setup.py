@@ -1,9 +1,11 @@
 """Setuptools shim.
 
-The offline environment lacks the ``wheel`` package required by PEP 517
-editable installs, so this legacy ``setup.py`` allows ``pip install -e .`` to
-fall back to the ``setup.py develop`` code path.  All metadata lives in
-``pyproject.toml``.
+All metadata lives in ``pyproject.toml``; in any networked environment
+``pip install -e .`` works through the standard PEP 517 build (isolation
+provides ``setuptools`` and ``wheel``).  The offline development container
+lacks the ``wheel`` package required by PEP 660 editable wheels, so this
+legacy ``setup.py`` is kept for the ``python setup.py develop`` fallback
+there (or simply run with ``PYTHONPATH=src``, as the test suite does).
 """
 
 from setuptools import setup

@@ -74,11 +74,19 @@ class CensorClassifier(abc.ABC):
         """Return benign probabilities for ``flows`` without touching counters."""
 
     def predict_scores(self, flows: Sequence[Flow]) -> np.ndarray:
-        """Benign probability per flow; increments the query counter."""
+        """Benign probability per flow; increments the query counter.
+
+        Query-count contract: every flow scored counts as exactly **one**
+        censor query, whether it arrives through a batched call or through
+        ``len(flows)`` separate :meth:`predict_score` calls — the batched
+        rollout engine relies on this so Figures 7–9 (queries-to-convergence)
+        are invariant to how scoring work is scheduled.  An empty sequence
+        performs no queries and returns an empty ``float64`` array.
+        """
         self._require_fitted()
         flows = list(flows)
         if not flows:
-            return np.array([])
+            return np.empty(0, dtype=np.float64)
         self._query_count += len(flows)
         scores = np.asarray(self._score_flows(flows), dtype=np.float64).reshape(-1)
         if len(scores) != len(flows):

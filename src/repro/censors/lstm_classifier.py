@@ -113,11 +113,9 @@ class LSTMClassifier(CensorClassifier):
         return self
 
     def _score_flows(self, flows: Sequence[Flow]) -> np.ndarray:
-        scores = np.empty(len(flows))
+        # One padded (n_flows, max_train_length, 2) forward for the whole
+        # batch — no per-flow model calls.
         with nn.no_grad():
-            # Flows can have heterogeneous lengths; avoid padding artefacts by
-            # scoring in padded mini-batches grouped by this call only.
             batch = self._to_padded_batch(flows, max_length=self.max_train_length)
             logits = self.network(nn.Tensor(batch)).data.reshape(-1)
-        scores = 1.0 / (1.0 + np.exp(-logits))
-        return scores
+        return 1.0 / (1.0 + np.exp(-logits))

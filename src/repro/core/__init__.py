@@ -4,12 +4,13 @@ from .actor_critic import Critic, GaussianActor, build_mlp
 from .agent import AdversarialResult, Amoeba, EvaluationReport
 from .arms_race import ArmsRaceResult, ArmsRaceRound, run_arms_race
 from .config import AmoebaConfig
-from .env import ActionKind, AdversarialFlowEnv, EpisodeSummary
+from .env import ActionKind, AdversarialFlowEnv, EpisodeSummary, PendingStep
 from .ppo import PPOUpdater, PPOUpdateStats
 from .profiles import AdversarialProfile, ProfileDatabase, ProfileEmbeddingResult
 from .reward_masking import MaskSweepPoint, expected_queries, reward_mask_sweep
 from .rollout import RolloutBuffer, compute_gae
 from .state_encoder import (
+    EncoderState,
     Seq2SeqAutoencoder,
     StateDecoder,
     StateEncoder,
@@ -17,6 +18,7 @@ from .state_encoder import (
     pretrain_state_encoder,
     reconstruction_nmae_by_length,
 )
+from .vec_env import BatchedEpisodeEncoder, VectorFlowEnv
 
 __all__ = [
     "Amoeba",
@@ -26,6 +28,10 @@ __all__ = [
     "AdversarialFlowEnv",
     "EpisodeSummary",
     "ActionKind",
+    "PendingStep",
+    "VectorFlowEnv",
+    "BatchedEpisodeEncoder",
+    "EncoderState",
     "GaussianActor",
     "Critic",
     "build_mlp",

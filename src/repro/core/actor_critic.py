@@ -69,22 +69,39 @@ class GaussianActor(nn.Module):
     def act(self, state: np.ndarray, deterministic: bool = False) -> Tuple[np.ndarray, float]:
         """Sample an action for a single state; returns (action, log_prob)."""
         state = np.asarray(state, dtype=np.float64).reshape(1, -1)
-        with nn.no_grad():
-            mean, log_std = self.forward(nn.Tensor(state))
-        mean = mean.data[0]
+        actions, log_probs = self.act_batch(state, deterministic=deterministic)
+        return actions[0], float(log_probs[0])
+
+    def act_batch(
+        self, states: np.ndarray, deterministic: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample actions for a batch of states in one forward pass.
+
+        ``states`` has shape ``(n, state_dim)``; returns ``(actions,
+        log_probs)`` of shapes ``(n, action_dim)`` and ``(n,)``.  The noise
+        for row ``i`` is drawn from the same generator stream position as the
+        ``i``-th sequential :meth:`act` call would use, and the forward runs
+        under :func:`repro.nn.row_consistent_matmul`, so a batched call is
+        bit-equivalent to ``n`` sequential single-state calls.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim != 2:
+            raise ValueError(f"states must be a (n, state_dim) array, got {states.shape}")
+        with nn.no_grad(), nn.row_consistent_matmul():
+            mean, log_std = self.forward(nn.Tensor(states))
+        mean = mean.data
         std = np.exp(log_std.data)
         if deterministic:
-            action = mean.copy()
+            actions = mean.copy()
         else:
-            action = mean + self._rng.normal(size=self.action_dim) * std
-        log_prob = float(
-            np.sum(
-                -0.5 * ((action - mean) / std) ** 2
-                - np.log(std)
-                - 0.5 * np.log(2.0 * np.pi)
-            )
+            actions = mean + self._rng.normal(size=(len(states), self.action_dim)) * std
+        log_probs = np.sum(
+            -0.5 * ((actions - mean) / std) ** 2
+            - np.log(std)
+            - 0.5 * np.log(2.0 * np.pi),
+            axis=1,
         )
-        return action, log_prob
+        return actions, log_probs
 
     def log_prob_and_entropy(self, states: nn.Tensor, actions: np.ndarray) -> Tuple[nn.Tensor, nn.Tensor]:
         """Differentiable log-probabilities of ``actions`` and policy entropy."""
@@ -107,6 +124,17 @@ class Critic(nn.Module):
     def value(self, state: np.ndarray) -> float:
         """Value estimate of a single state (no gradient)."""
         state = np.asarray(state, dtype=np.float64).reshape(1, -1)
-        with nn.no_grad():
-            value = self.forward(nn.Tensor(state))
-        return float(value.data[0])
+        return float(self.value_batch(state)[0])
+
+    def value_batch(self, states: np.ndarray) -> np.ndarray:
+        """Value estimates for a ``(n, state_dim)`` batch in one forward pass.
+
+        Runs under :func:`repro.nn.row_consistent_matmul` so each row matches
+        the corresponding single-state :meth:`value` call bit-for-bit.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim != 2:
+            raise ValueError(f"states must be a (n, state_dim) array, got {states.shape}")
+        with nn.no_grad(), nn.row_consistent_matmul():
+            values = self.forward(nn.Tensor(states))
+        return values.data.copy()

@@ -30,6 +30,7 @@ from .env import ActionKind, AdversarialFlowEnv, EpisodeSummary
 from .ppo import PPOUpdater
 from .rollout import RolloutBuffer
 from .state_encoder import StateEncoder, pretrain_state_encoder
+from .vec_env import BatchedEpisodeEncoder, VectorFlowEnv
 
 __all__ = ["Amoeba", "AdversarialResult", "EvaluationReport"]
 
@@ -166,6 +167,64 @@ class Amoeba:
             for env_rng in env_rngs
         ]
 
+    def _collect_tick_batched(
+        self,
+        vec_env: VectorFlowEnv,
+        tracker: BatchedEpisodeEncoder,
+        buffer: RolloutBuffer,
+        states: np.ndarray,
+        recent_summaries: List[EpisodeSummary],
+    ) -> np.ndarray:
+        """One vectorized tick: O(1) model forwards and one censor batch."""
+        actions, log_probs = self.actor.act_batch(states)
+        values = self.critic.value_batch(states)
+        observations, rewards, dones, infos = vec_env.step(actions)
+        buffer.add(states, actions, log_probs, rewards, values, dones)
+        for info in infos:
+            if "episode" in info:
+                summary: EpisodeSummary = info["episode"]
+                recent_summaries.append(summary)
+                self._episode_successes.append(summary.success)
+        recorded_actions = np.stack([info["recorded_action"] for info in infos])
+        return tracker.step(recorded_actions, observations, dones)
+
+    def _collect_tick_sequential(
+        self,
+        envs: List[AdversarialFlowEnv],
+        buffer: RolloutBuffer,
+        states: np.ndarray,
+        recent_summaries: List[EpisodeSummary],
+    ) -> np.ndarray:
+        """The seed per-environment collection loop, kept as the reference
+        path for equivalence testing and ablation (O(n_envs) model forwards
+        per tick, O(T) full-history re-encodes per step)."""
+        config = self.config
+        actions = np.zeros((config.n_envs, self.actor.action_dim))
+        log_probs = np.zeros(config.n_envs)
+        values = np.zeros(config.n_envs)
+        rewards = np.zeros(config.n_envs)
+        dones = np.zeros(config.n_envs, dtype=bool)
+        next_states = np.zeros_like(states)
+
+        for index, env in enumerate(envs):
+            action, log_prob = self.actor.act(states[index])
+            value = self.critic.value(states[index])
+            _, reward, done, info = env.step(action)
+            actions[index] = action
+            log_probs[index] = log_prob
+            values[index] = value
+            rewards[index] = reward
+            dones[index] = done
+            if done:
+                summary: EpisodeSummary = info["episode"]
+                recent_summaries.append(summary)
+                self._episode_successes.append(summary.success)
+                env.reset()
+            next_states[index] = self.encode_state(env)
+
+        buffer.add(states, actions, log_probs, rewards, values, dones)
+        return next_states
+
     def train(
         self,
         flows: Sequence[Flow],
@@ -174,12 +233,24 @@ class Amoeba:
         eval_every: Optional[int] = None,
         eval_size: int = 20,
         callback: Optional[Callable[[Dict], None]] = None,
+        vectorized: bool = True,
     ) -> TrainingLogger:
         """Train the policy against the censor on the given censored flows.
 
         ``eval_flows``/``eval_every`` enable periodic held-out evaluation so
         convergence curves (Figures 7 and 9) can be reproduced; each record in
         the training log also stores the censor query count at that point.
+
+        ``vectorized`` selects the batched collection engine (default): all
+        ``n_envs`` environments advance per tick with one actor/critic
+        forward, one incremental encoder step and one censor score batch.
+        ``vectorized=False`` keeps the per-environment reference loop.  Both
+        paths consume identical RNG streams and issue identical censor
+        queries; policy/encoder inference is bit-equivalent by construction
+        (:func:`repro.nn.row_consistent_matmul`), so trajectories match
+        exactly for censors whose scoring is batch-size invariant (trees,
+        SVM) and up to the thresholded censor score for neural censors,
+        whose BLAS forwards may differ in the last ULP across batch shapes.
         """
         if total_timesteps < 1:
             raise ValueError("total_timesteps must be >= 1")
@@ -190,43 +261,31 @@ class Amoeba:
             config.rollout_length, config.n_envs, config.state_dim, self.actor.action_dim
         )
 
-        for env in envs:
-            env.reset()
-        states = np.stack([self.encode_state(env) for env in envs])
+        if vectorized:
+            vec_env = VectorFlowEnv(envs, auto_reset=True)
+            tracker = BatchedEpisodeEncoder(self.state_encoder, config.n_envs)
+            states = tracker.reset_all(vec_env.reset())
+        else:
+            for env in envs:
+                env.reset()
+            states = np.stack([self.encode_state(env) for env in envs])
 
         steps_done = 0
         while steps_done < total_timesteps:
             buffer.reset()
             recent_summaries: List[EpisodeSummary] = []
             while not buffer.full:
-                actions = np.zeros((config.n_envs, self.actor.action_dim))
-                log_probs = np.zeros(config.n_envs)
-                values = np.zeros(config.n_envs)
-                rewards = np.zeros(config.n_envs)
-                dones = np.zeros(config.n_envs, dtype=bool)
-                next_states = np.zeros_like(states)
-
-                for index, env in enumerate(envs):
-                    action, log_prob = self.actor.act(states[index])
-                    value = self.critic.value(states[index])
-                    _, reward, done, info = env.step(action)
-                    actions[index] = action
-                    log_probs[index] = log_prob
-                    values[index] = value
-                    rewards[index] = reward
-                    dones[index] = done
-                    if done:
-                        summary: EpisodeSummary = info["episode"]
-                        recent_summaries.append(summary)
-                        self._episode_successes.append(summary.success)
-                        env.reset()
-                    next_states[index] = self.encode_state(env)
-
-                buffer.add(states, actions, log_probs, rewards, values, dones)
-                states = next_states
+                if vectorized:
+                    states = self._collect_tick_batched(
+                        vec_env, tracker, buffer, states, recent_summaries
+                    )
+                else:
+                    states = self._collect_tick_sequential(
+                        envs, buffer, states, recent_summaries
+                    )
                 steps_done += config.n_envs
 
-            last_values = np.asarray([self.critic.value(state) for state in states])
+            last_values = self.critic.value_batch(states)
             buffer.finalize(last_values, config.gamma, config.gae_lambda)
             stats = self.updater.update(buffer)
             self._timesteps_trained += config.rollout_length * config.n_envs
@@ -261,8 +320,7 @@ class Amoeba:
     # ------------------------------------------------------------------ #
     # Attack / evaluation
     # ------------------------------------------------------------------ #
-    def attack(self, flow: Flow, deterministic: bool = True) -> AdversarialResult:
-        """Generate the adversarial version of a single flow."""
+    def _make_eval_env(self, flow: Flow) -> AdversarialFlowEnv:
         # During evaluation we do not need per-step rewards; masking every
         # step avoids spending censor queries on intermediate prefixes (the
         # final classification in the episode summary is still performed).
@@ -275,25 +333,81 @@ class Amoeba:
         eval_config = self.config.with_overrides(
             reward_mask_rate=1.0, max_episode_steps=step_budget
         )
-        env = AdversarialFlowEnv(self.censor, self.normalizer, eval_config, [flow], rng=self._rng)
-        env.reset(flow)
-        done = False
-        while not done:
-            state = self.encode_state(env)
-            action, _ = self.actor.act(state, deterministic=deterministic)
-            _, _, done, info = env.step(action)
-        summary: EpisodeSummary = info["episode"]
-        return AdversarialResult.from_summary(summary)
+        return AdversarialFlowEnv(
+            self.censor, self.normalizer, eval_config, [flow], rng=self._rng
+        )
 
-    def attack_many(self, flows: Sequence[Flow], deterministic: bool = True) -> List[AdversarialResult]:
-        return [self.attack(flow, deterministic=deterministic) for flow in flows]
+    def _attack_batch(
+        self, flows: List[Flow], deterministic: bool
+    ) -> List[AdversarialResult]:
+        """Attack a batch of flows in lockstep through the vectorized engine.
 
-    def evaluate(self, flows: Sequence[Flow], deterministic: bool = True) -> EvaluationReport:
+        Episodes finish at different times; finished environments drop out of
+        the batch while the survivors keep sharing one actor forward, one
+        incremental encoder step and one censor score batch per tick.
+        """
+        envs = [self._make_eval_env(flow) for flow in flows]
+        vec_env = VectorFlowEnv(envs, auto_reset=False)
+        tracker = BatchedEpisodeEncoder(self.state_encoder, len(envs))
+        observations = np.stack([env.reset(flow) for env, flow in zip(envs, flows)])
+        tracker.reset_all(observations)
+
+        results: List[Optional[AdversarialResult]] = [None] * len(envs)
+        active = list(range(len(envs)))
+        while active:
+            states = tracker.states(active)
+            actions, _ = self.actor.act_batch(states, deterministic=deterministic)
+            observations, _, dones, infos = vec_env.step_subset(active, actions)
+            for row, index in enumerate(active):
+                if dones[row]:
+                    results[index] = AdversarialResult.from_summary(infos[row]["episode"])
+            recorded_actions = np.stack([info["recorded_action"] for info in infos])
+            tracker.step(recorded_actions, observations, dones, indices=active)
+            active = [index for row, index in enumerate(active) if not dones[row]]
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def attack(self, flow: Flow, deterministic: bool = True) -> AdversarialResult:
+        """Generate the adversarial version of a single flow."""
+        return self._attack_batch([flow], deterministic=deterministic)[0]
+
+    def attack_many(
+        self,
+        flows: Sequence[Flow],
+        deterministic: bool = True,
+        batch_size: Optional[int] = None,
+    ) -> List[AdversarialResult]:
+        """Attack every flow, ``batch_size`` environments at a time.
+
+        Batching only changes how the work is scheduled, never the query
+        count.  With the default deterministic policy the adversarial flows
+        are identical to attacking one by one; each flow's final censor
+        score is computed from the same adversarial flow either way, but for
+        neural censors its last bits may vary with the scoring batch shape.
+        """
+        flows = list(flows)
+        if batch_size is None:
+            batch_size = max(self.config.n_envs, 8)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        results: List[AdversarialResult] = []
+        for start in range(0, len(flows), batch_size):
+            results.extend(
+                self._attack_batch(flows[start : start + batch_size], deterministic)
+            )
+        return results
+
+    def evaluate(
+        self,
+        flows: Sequence[Flow],
+        deterministic: bool = True,
+        batch_size: Optional[int] = None,
+    ) -> EvaluationReport:
         """Attack every flow and aggregate ASR / data overhead / time overhead."""
         flows = list(flows)
         if not flows:
             raise ValueError("cannot evaluate on an empty flow list")
-        results = self.attack_many(flows, deterministic=deterministic)
+        results = self.attack_many(flows, deterministic=deterministic, batch_size=batch_size)
         return EvaluationReport(
             attack_success_rate=float(np.mean([r.success for r in results])),
             data_overhead=float(np.mean([r.data_overhead for r in results])),

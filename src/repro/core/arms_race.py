@@ -75,6 +75,7 @@ def run_arms_race(
     amoeba_timesteps: int = 1500,
     harvest_per_round: int = 30,
     config: Optional[AmoebaConfig] = None,
+    eval_batch_size: Optional[int] = None,
     rng=None,
 ) -> ArmsRaceResult:
     """Run ``n_rounds`` of censor-retrains / attacker-retrains.
@@ -95,6 +96,10 @@ def run_arms_race(
     harvest_per_round:
         Number of adversarial flows the censor collects per round and adds
         (labelled censored) to its next training set.
+    eval_batch_size:
+        Number of flows attacked in lockstep when measuring the attacker's
+        ASR each round (defaults to the agent's own batched-evaluate sizing);
+        every round's evaluation goes through the vectorized rollout engine.
     """
     if n_rounds < 1:
         raise ValueError("n_rounds must be >= 1")
@@ -114,7 +119,7 @@ def run_arms_race(
         # 2. Attacker trains a fresh agent against the updated censor.
         agent = Amoeba(censor, normalizer, config, rng=round_rng)
         agent.train(attack_train_flows, total_timesteps=amoeba_timesteps)
-        report = agent.evaluate(eval_flows)
+        report = agent.evaluate(eval_flows, batch_size=eval_batch_size)
 
         # 3. Censor harvests a sample of this round's adversarial flows.
         harvested = [result.adversarial_flow for result in report.results[:harvest_per_round]]

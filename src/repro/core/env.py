@@ -39,7 +39,7 @@ from ..flows.flow import Flow, FlowLabel
 from ..utils.rng import ensure_rng
 from .config import AmoebaConfig
 
-__all__ = ["AdversarialFlowEnv", "EpisodeSummary", "ActionKind"]
+__all__ = ["AdversarialFlowEnv", "EpisodeSummary", "ActionKind", "PendingStep"]
 
 
 class ActionKind:
@@ -72,6 +72,42 @@ class EpisodeSummary:
             ActionKind.PADDING: self.n_paddings,
             ActionKind.DELAY: self.n_delays,
         }
+
+
+@dataclass
+class PendingStep:
+    """Deterministic outcome of :meth:`AdversarialFlowEnv.propose`.
+
+    The environment's transition is fully determined by the action — the
+    censor's score only shapes the *reward* — so a step can be split into a
+    deterministic ``propose`` phase (emulator advance, masking draw, episode
+    termination) and an ``apply`` phase that consumes externally computed
+    censor scores.  ``flows_to_score`` lists what the censor must score for
+    this step, in order: the adversarial prefix (unless the reward is
+    masked), then the finished adversarial flow (when the episode ended).
+    A vectorized driver gathers these across environments into one batched
+    ``predict_scores`` call, preserving the exact one-query-per-flow
+    accounting of the sequential path.
+    """
+
+    action_kind: str
+    masked: bool
+    done: bool
+    data_penalty: float
+    time_penalty: float
+    recorded_action: np.ndarray
+    next_observation: Optional[np.ndarray]
+    prefix: Optional[Flow]
+    adversarial: Optional[Flow]
+
+    @property
+    def flows_to_score(self) -> List[Flow]:
+        flows = []
+        if self.prefix is not None:
+            flows.append(self.prefix)
+        if self.adversarial is not None:
+            flows.append(self.adversarial)
+        return flows
 
 
 class AdversarialFlowEnv:
@@ -206,8 +242,14 @@ class AdversarialFlowEnv:
         self._observation_history.append(observation)
         return observation
 
-    def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict]:
-        """Apply an action (normalised size, normalised extra delay)."""
+    def propose(self, action: np.ndarray) -> PendingStep:
+        """Phase 1 of a step: advance the emulator, defer censor scoring.
+
+        Applies the action's deterministic effects (packet emission, history
+        bookkeeping, reward-masking draw, emulator advance, episode
+        termination) and returns a :class:`PendingStep` naming the flows the
+        censor still has to score.  Complete the step with :meth:`apply`.
+        """
         if self._done:
             raise RuntimeError("step() called on a finished episode; call reset() first")
         assert self._original is not None
@@ -259,41 +301,26 @@ class AdversarialFlowEnv:
             self._n_delays += 1
 
         # Record the emitted adversarial packet.
+        recorded_action = np.asarray(
+            [
+                np.clip(direction * emitted_bytes / size_scale, -1.0, 1.0),
+                np.clip(emitted_delay / self.config.max_delay_ms, 0.0, 1.0),
+            ]
+        )
         self._adversarial_sizes.append(direction * emitted_bytes)
         self._adversarial_delays.append(emitted_delay)
         self._added_delay_total += added_delay
-        self._action_history.append(
-            np.asarray(
-                [
-                    np.clip(direction * emitted_bytes / size_scale, -1.0, 1.0),
-                    np.clip(emitted_delay / self.config.max_delay_ms, 0.0, 1.0),
-                ]
-            )
-        )
+        self._action_history.append(recorded_action)
         self._steps += 1
 
-        # Adversarial reward: the censor classifies the prefix generated so far.
+        # Reward masking (Section 5.5.3): masked steps never reach the censor.
         masked = (
             self.config.reward_mask_rate > 0.0
             and self._rng.random() < self.config.reward_mask_rate
         )
-        if masked:
-            adversarial_reward = self.config.masked_reward_value
-            score = float("nan")
-        else:
-            prefix = self._current_adversarial_flow()
-            score = self.censor.predict_score(prefix)
-            adversarial_reward = 1.0 if score >= 0.5 else 0.0
+        prefix = None if masked else self._current_adversarial_flow()
 
-        time_penalty = delay_action  # already normalised by max_delay
-        reward = (
-            adversarial_reward
-            - self.config.lambda_data * data_penalty
-            - self.config.lambda_time * time_penalty
-        )
-        self._episode_reward += reward
-
-        # Advance the emulator.
+        # Advance the emulator; termination does not depend on the score.
         done = False
         if self._remaining_bytes <= 0:
             self._packet_index += 1
@@ -305,24 +332,86 @@ class AdversarialFlowEnv:
         if self._steps >= self.config.max_episode_steps:
             done = True
 
-        info: Dict = {
-            "action_kind": action_kind,
-            "masked": masked,
-            "score": score,
-            "data_penalty": data_penalty,
-            "time_penalty": time_penalty,
-        }
-
         if done:
             self._done = True
-            summary = self._finalise_episode()
+            adversarial = self._current_adversarial_flow()
+            next_observation = None
+        else:
+            adversarial = None
+            next_observation = self._make_observation()
+            self._observation_history.append(next_observation)
+
+        return PendingStep(
+            action_kind=action_kind,
+            masked=masked,
+            done=done,
+            data_penalty=data_penalty,
+            time_penalty=delay_action,  # already normalised by max_delay
+            recorded_action=recorded_action,
+            next_observation=next_observation,
+            prefix=prefix,
+            adversarial=adversarial,
+        )
+
+    def apply(
+        self, pending: PendingStep, scores: np.ndarray
+    ) -> Tuple[np.ndarray, float, bool, Dict]:
+        """Phase 2 of a step: fold censor scores into reward and summary.
+
+        ``scores`` must align with ``pending.flows_to_score`` (possibly a
+        slice of a batched :meth:`~repro.censors.base.CensorClassifier.predict_scores`
+        result covering many environments).
+        """
+        scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+        expected = len(pending.flows_to_score)
+        if len(scores) != expected:
+            raise ValueError(f"expected {expected} scores for this step, got {len(scores)}")
+
+        if pending.masked:
+            adversarial_reward = self.config.masked_reward_value
+            score = float("nan")
+        else:
+            score = float(scores[0])
+            adversarial_reward = 1.0 if score >= 0.5 else 0.0
+
+        reward = (
+            adversarial_reward
+            - self.config.lambda_data * pending.data_penalty
+            - self.config.lambda_time * pending.time_penalty
+        )
+        self._episode_reward += reward
+
+        info: Dict = {
+            "action_kind": pending.action_kind,
+            "masked": pending.masked,
+            "score": score,
+            "data_penalty": pending.data_penalty,
+            "time_penalty": pending.time_penalty,
+            "recorded_action": pending.recorded_action,
+        }
+
+        if pending.done:
+            assert pending.adversarial is not None
+            summary = self._finalise_episode(pending.adversarial, float(scores[-1]))
             info["episode"] = summary
             observation = np.zeros(2)
         else:
-            observation = self._make_observation()
-            self._observation_history.append(observation)
+            assert pending.next_observation is not None
+            observation = pending.next_observation
 
-        return observation, float(reward), done, info
+        return observation, float(reward), pending.done, info
+
+    def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict]:
+        """Apply an action (normalised size, normalised extra delay).
+
+        Thin wrapper chaining :meth:`propose` and :meth:`apply` with an
+        immediate censor query — the single-environment compatibility path.
+        Query accounting is unchanged: one query for the prefix of every
+        unmasked step plus one for the finished adversarial flow.
+        """
+        pending = self.propose(action)
+        scores = self.censor.predict_scores(pending.flows_to_score)
+        return self.apply(pending, scores)
 
     # ------------------------------------------------------------------ #
     # Episode bookkeeping
@@ -337,10 +426,8 @@ class AdversarialFlowEnv:
             metadata={"original_packets": self._original.n_packets},
         )
 
-    def _finalise_episode(self) -> EpisodeSummary:
+    def _finalise_episode(self, adversarial: Flow, final_score: float) -> EpisodeSummary:
         assert self._original is not None
-        adversarial = self._current_adversarial_flow()
-        final_score = self.censor.predict_score(adversarial)
         success = final_score >= 0.5
 
         original_payload = float(self._consumed_payload)

@@ -24,6 +24,7 @@ from ..utils.logging import TrainingLogger
 from ..utils.rng import ensure_rng
 
 __all__ = [
+    "EncoderState",
     "StateEncoder",
     "StateDecoder",
     "Seq2SeqAutoencoder",
@@ -31,6 +32,25 @@ __all__ = [
     "pretrain_state_encoder",
     "reconstruction_nmae_by_length",
 ]
+
+
+@dataclass
+class EncoderState:
+    """Per-environment incremental GRU state for one history stream.
+
+    ``hidden`` holds the per-layer hidden vectors as a ``(num_layers,
+    hidden_size)`` array.  Folding one (size, delay) pair at a time through
+    :meth:`StateEncoder.step_pairs` keeps this state equal to what a full
+    :meth:`StateEncoder.encode_pairs` re-encode of the whole history would
+    produce, turning the per-episode encoding cost from O(T²) into O(T).
+    """
+
+    hidden: np.ndarray
+
+    @property
+    def representation(self) -> np.ndarray:
+        """Fixed-size encoding of everything folded in so far (top layer)."""
+        return self.hidden[-1]
 
 
 class StateEncoder(nn.Module):
@@ -58,9 +78,49 @@ class StateEncoder(nn.Module):
             return np.zeros(self.hidden_size)
         if pairs.ndim != 2 or pairs.shape[1] != 2:
             raise ValueError(f"expected (time, 2) pairs, got shape {pairs.shape}")
-        with nn.no_grad():
+        with nn.no_grad(), nn.row_consistent_matmul():
             encoded = self.forward(nn.Tensor(pairs[None, :, :]))
         return encoded.data[0]
+
+    # ------------------------------------------------------------------ #
+    # Incremental (O(1) per tick) encoding
+    # ------------------------------------------------------------------ #
+    def initial_state(self) -> EncoderState:
+        """Zero state representing an empty history (encodes to zeros)."""
+        return EncoderState(hidden=np.zeros((self.num_layers, self.hidden_size)))
+
+    def step_pairs(
+        self, pairs: np.ndarray, states: Sequence[EncoderState]
+    ) -> List[EncoderState]:
+        """Fold one new (size, delay) pair into each environment's state.
+
+        ``pairs`` is an ``(n_envs, 2)`` batch — the newest observation or
+        action of each environment — and ``states`` the matching incremental
+        states.  All environments advance through the GRU as a single batched
+        forward; thanks to :func:`repro.nn.row_consistent_matmul` the result
+        for each row is bit-identical to stepping that environment alone,
+        and therefore to a full :meth:`encode_pairs` re-encode of its history.
+        """
+        pairs = np.asarray(pairs, dtype=np.float64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"expected (n_envs, 2) pairs, got shape {pairs.shape}")
+        if pairs.shape[0] != len(states):
+            raise ValueError("one state per row of pairs is required")
+        hidden = [
+            nn.Tensor(np.stack([state.hidden[layer] for state in states]))
+            for layer in range(self.num_layers)
+        ]
+        with nn.no_grad(), nn.row_consistent_matmul():
+            new_hidden = self.gru.step(nn.Tensor(pairs), hidden)
+        layer_data = [layer.data for layer in new_hidden]
+        return [
+            EncoderState(hidden=np.stack([data[index] for data in layer_data]))
+            for index in range(len(states))
+        ]
+
+    def step_pair(self, pair: np.ndarray, state: EncoderState) -> EncoderState:
+        """Single-environment convenience wrapper around :meth:`step_pairs`."""
+        return self.step_pairs(np.asarray(pair, dtype=np.float64).reshape(1, 2), [state])[0]
 
 
 class StateDecoder(nn.Module):

@@ -27,7 +27,16 @@ from .layers import (
 from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
 from .recurrent import GRU, GRUCell, LSTM, LSTMCell
 from .serialization import load_module, load_state_dict, save_module, save_state_dict
-from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    is_row_consistent_matmul,
+    no_grad,
+    row_consistent_matmul,
+    stack,
+)
 
 __all__ = [
     "Tensor",
@@ -36,6 +45,8 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "row_consistent_matmul",
+    "is_row_consistent_matmul",
     "functional",
     "Module",
     "Parameter",

@@ -70,6 +70,41 @@ class GRU(Module):
             self.register_module(f"cell{layer}", cell)
             self._cells.append(cell)
 
+    def initial_state(self, batch_size: int) -> List[Tensor]:
+        """Zero per-layer hidden states for a batch of the given size."""
+        return [cell.initial_state(batch_size) for cell in self._cells]
+
+    def step(self, x_t: Tensor, hidden: Optional[List[Tensor]] = None) -> List[Tensor]:
+        """Advance the stack by one timestep.
+
+        Parameters
+        ----------
+        x_t:
+            Tensor of shape ``(batch, input_size)`` — the newest input only.
+        hidden:
+            Optional list of per-layer hidden states, each ``(batch,
+            hidden_size)``; zeros when omitted.
+
+        Returns
+        -------
+        The new per-layer hidden state list; the top layer (``[-1]``) is the
+        sequence representation after folding in ``x_t``.  Incrementally
+        stepping a sequence one element at a time produces exactly the same
+        states as :meth:`forward` over the whole sequence — this is what lets
+        the rollout engine encode histories in O(1) work per tick instead of
+        re-encoding from scratch.
+        """
+        x_t = as_tensor(x_t)
+        if hidden is None:
+            hidden = self.initial_state(x_t.shape[0])
+        new_hidden: List[Tensor] = []
+        step_input = x_t
+        for layer, cell in enumerate(self._cells):
+            state = cell(step_input, hidden[layer])
+            new_hidden.append(state)
+            step_input = state
+        return new_hidden
+
     def forward(
         self, x: Tensor, hidden: Optional[List[Tensor]] = None
     ) -> Tuple[Tensor, List[Tensor]]:
@@ -91,17 +126,14 @@ class GRU(Module):
         x = as_tensor(x)
         batch, steps, _ = x.shape
         if hidden is None:
-            hidden = [cell.initial_state(batch) for cell in self._cells]
+            hidden = self.initial_state(batch)
         else:
             hidden = list(hidden)
 
         outputs: List[Tensor] = []
         for t in range(steps):
-            step_input = x[:, t, :]
-            for layer, cell in enumerate(self._cells):
-                hidden[layer] = cell(step_input, hidden[layer])
-                step_input = hidden[layer]
-            outputs.append(step_input)
+            hidden = self.step(x[:, t, :], hidden)
+            outputs.append(hidden[-1])
         return Tensor.stack(outputs, axis=1), hidden
 
 
@@ -155,6 +187,25 @@ class LSTM(Module):
             self.register_module(f"cell{layer}", cell)
             self._cells.append(cell)
 
+    def initial_state(self, batch_size: int) -> List[Tuple[Tensor, Tensor]]:
+        """Zero per-layer (hidden, cell) states for a batch of the given size."""
+        return [cell.initial_state(batch_size) for cell in self._cells]
+
+    def step(
+        self, x_t: Tensor, state: Optional[List[Tuple[Tensor, Tensor]]] = None
+    ) -> List[Tuple[Tensor, Tensor]]:
+        """Advance the stack by one timestep on a ``(batch, input_size)`` input."""
+        x_t = as_tensor(x_t)
+        if state is None:
+            state = self.initial_state(x_t.shape[0])
+        new_state: List[Tuple[Tensor, Tensor]] = []
+        step_input = x_t
+        for layer, cell in enumerate(self._cells):
+            layer_state = cell(step_input, state[layer])
+            new_state.append(layer_state)
+            step_input = layer_state[0]
+        return new_state
+
     def forward(
         self,
         x: Tensor,
@@ -163,15 +214,12 @@ class LSTM(Module):
         x = as_tensor(x)
         batch, steps, _ = x.shape
         if state is None:
-            state = [cell.initial_state(batch) for cell in self._cells]
+            state = self.initial_state(batch)
         else:
             state = list(state)
 
         outputs: List[Tensor] = []
         for t in range(steps):
-            step_input = x[:, t, :]
-            for layer, cell in enumerate(self._cells):
-                state[layer] = cell(step_input, state[layer])
-                step_input = state[layer][0]
-            outputs.append(step_input)
+            state = self.step(x[:, t, :], state)
+            outputs.append(state[-1][0])
         return Tensor.stack(outputs, axis=1), state

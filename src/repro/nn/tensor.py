@@ -27,7 +27,14 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "row_consistent_matmul",
+    "is_row_consistent_matmul",
+]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
@@ -49,6 +56,41 @@ def no_grad():
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations record the autodiff graph."""
     return _GRAD_ENABLED
+
+
+_ROW_CONSISTENT_MATMUL = False
+
+
+@contextlib.contextmanager
+def row_consistent_matmul():
+    """Context manager forcing batch-size-invariant 2-D matmul forwards.
+
+    BLAS picks different kernels (GEMV vs. GEMM, different micro-tilings)
+    depending on the number of rows of the left operand, so the ``i``-th row
+    of ``X @ W`` is generally *not* bit-identical to ``X[i:i+1] @ W``.  Inside
+    this context, 2-D matmul forwards are computed with ``np.einsum`` whose
+    per-element accumulation order depends only on the reduction length,
+    making each output row independent of how the batch is chunked.
+
+    The vectorized rollout engine runs policy/encoder inference under this
+    context so that stepping ``N`` environments as one ``(N, d)`` forward is
+    bit-equivalent to ``N`` separate ``(1, d)`` forwards — the property the
+    batched-vs-sequential equivalence tests rely on.  Gradients are
+    unaffected (training consumes identical inputs either way); large censor
+    forwards stay on the fast BLAS path by simply not entering the context.
+    """
+    global _ROW_CONSISTENT_MATMUL
+    previous = _ROW_CONSISTENT_MATMUL
+    _ROW_CONSISTENT_MATMUL = True
+    try:
+        yield
+    finally:
+        _ROW_CONSISTENT_MATMUL = previous
+
+
+def is_row_consistent_matmul() -> bool:
+    """Return ``True`` when matmul forwards are forced batch-size-invariant."""
+    return _ROW_CONSISTENT_MATMUL
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -360,7 +402,10 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def matmul(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data @ other.data
+        if _ROW_CONSISTENT_MATMUL and self.data.ndim == 2 and other.data.ndim == 2:
+            out_data = np.einsum("ik,kh->ih", self.data, other.data)
+        else:
+            out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

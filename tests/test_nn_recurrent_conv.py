@@ -46,6 +46,22 @@ class TestGRU:
             out, _ = gru(nn.Tensor(np.zeros((1, length, 2))))
             assert out.shape == (1, length, 4)
 
+    def test_step_matches_forward(self):
+        gru = nn.GRU(2, 4, num_layers=2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(3, 6, 2))
+        _, expected = gru(nn.Tensor(x))
+        hidden = None
+        for t in range(6):
+            hidden = gru.step(nn.Tensor(x[:, t, :]), hidden)
+        for stepped, full in zip(hidden, expected):
+            assert np.array_equal(stepped.data, full.data)
+
+    def test_initial_state_is_zero(self):
+        gru = nn.GRU(2, 4, num_layers=2, rng=np.random.default_rng(0))
+        hidden = gru.initial_state(3)
+        assert len(hidden) == 2
+        assert all(np.all(h.data == 0.0) and h.shape == (3, 4) for h in hidden)
+
 
 class TestLSTM:
     def test_cell_returns_hidden_and_cell(self):
@@ -69,6 +85,17 @@ class TestLSTM:
         out, _ = lstm(nn.Tensor(np.random.default_rng(1).normal(size=(2, 4, 2))))
         (out ** 2).mean().backward()
         assert all(p.grad is not None for p in lstm.parameters())
+
+    def test_step_matches_forward(self):
+        lstm = nn.LSTM(2, 3, num_layers=2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(2).normal(size=(2, 5, 2))
+        _, expected = lstm(nn.Tensor(x))
+        state = None
+        for t in range(5):
+            state = lstm.step(nn.Tensor(x[:, t, :]), state)
+        for (h, c), (eh, ec) in zip(state, expected):
+            assert np.array_equal(h.data, eh.data)
+            assert np.array_equal(c.data, ec.data)
 
 
 class TestConv1d:

@@ -228,3 +228,36 @@ class TestNoGrad:
         a = Tensor([1.0, 3.0])
         assert (a > 2.0).tolist() == [False, True]
         assert (a <= 3.0).tolist() == [True, True]
+
+
+class TestRowConsistentMatmul:
+    def test_context_restores_state(self):
+        assert not nn.is_row_consistent_matmul()
+        with nn.row_consistent_matmul():
+            assert nn.is_row_consistent_matmul()
+        assert not nn.is_row_consistent_matmul()
+
+    def test_rows_invariant_to_batch_size(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(8, 16))
+        w = rng.normal(size=(16, 4))
+        with nn.row_consistent_matmul():
+            full = (Tensor(x) @ Tensor(w)).data
+            rows = np.vstack([(Tensor(x[i : i + 1]) @ Tensor(w)).data for i in range(8)])
+        assert np.array_equal(full, rows)
+
+    def test_matches_plain_matmul_values(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5, 7))
+        w = rng.normal(size=(7, 3))
+        with nn.row_consistent_matmul():
+            consistent = (Tensor(x) @ Tensor(w)).data
+        assert np.allclose(consistent, x @ w)
+
+    def test_gradients_unaffected(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        with nn.row_consistent_matmul():
+            (x @ w).sum().backward()
+        assert x.grad is not None and w.grad is not None
