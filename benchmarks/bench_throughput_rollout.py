@@ -124,7 +124,12 @@ def test_rollout_collection_speedup_and_equivalence(throughput_setup):
     assert np.array_equal(seq_buffer.dones, bat_buffer.dones)
     assert seq_queries == bat_queries
 
-    assert speedup >= 3.0, f"expected >=3x collection speedup, measured {speedup:.2f}x"
+    # The fused recurrent kernels (PR 2) sped up the sequential reference
+    # path ~2.3x (its per-step cell forwards dominate), compressing the
+    # batched-vs-sequential ratio from ~3.9x to ~2.1x even though batched
+    # absolute throughput also rose (~380 -> ~480 steps/s here).  The floor
+    # below tracks the ratio with headroom for slower CI machines.
+    assert speedup >= 1.5, f"expected >=1.5x collection speedup, measured {speedup:.2f}x"
 
 
 def test_batched_tick_latency(benchmark, throughput_setup):

@@ -1,0 +1,184 @@
+"""Training-path throughput: fused packed-gate recurrent kernels vs composed graphs.
+
+PR 1 batched the rollout engine; this benchmark covers the other side of the
+clock — the recurrent *training* compute.  The fused kernels
+(``repro.nn.functional.gru_cell`` / ``lstm_cell`` / ``gru_sequence`` /
+``lstm_sequence``) pack the per-gate weights into single matrices (two GEMMs
+per step instead of six/eight), hoist all sequence input projections into one
+``(B·T, in)`` GEMM, and collapse each layer × time block into one autograd
+node with a hand-written closed-form backward, replacing the ~15-node-per-
+step composed graph kept as the reference in :mod:`repro.nn._composed`.
+
+Three measurements, written to ``BENCH_training.json`` at the repo root:
+
+* **censor LSTM fit** — identical seeded :class:`LSTMClassifier` training on
+  identical data, fused vs composed-graph network (target ≥2×).
+* **incremental encoder stepping** — ``StateEncoder.step_pairs`` ticks over a
+  batch of environment streams, fused vs composed GRU.
+* **PPO update phase** — one full clipped-surrogate update pass (MLP actor /
+  critic; recorded as a throughput reference point, no composed baseline).
+
+Self-contained like the rollout smoke benchmark so CI can run it in well
+under a minute.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.censors import LSTMClassifier
+from repro.core import AmoebaConfig, RolloutBuffer
+from repro.core.actor_critic import Critic, GaussianActor
+from repro.core.ppo import PPOUpdater
+from repro.core.state_encoder import StateEncoder
+from repro.features import FlowNormalizer
+from repro.flows import build_tor_dataset
+from repro.nn._composed import ComposedGRU, ComposedLSTM
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_training.json"
+
+GRU_GATES = ("r", "z", "n")
+LSTM_GATES = ("i", "f", "g", "o")
+
+
+def _copy_packed_into_composed(packed_cells, composed_cells, gates):
+    for packed_cell, composed_cell in zip(packed_cells, composed_cells):
+        size = packed_cell.hidden_size
+        for index, gate in enumerate(gates):
+            block = slice(index * size, (index + 1) * size)
+            getattr(composed_cell, f"w_x{gate}").data = packed_cell.w_x.data[:, block].copy()
+            getattr(composed_cell, f"w_h{gate}").data = packed_cell.w_h.data[:, block].copy()
+            getattr(composed_cell, f"b_{gate}").data = packed_cell.b.data[block].copy()
+
+
+def composed_lstm_clone(packed: nn.LSTM) -> ComposedLSTM:
+    clone = ComposedLSTM(packed.input_size, packed.hidden_size, packed.num_layers)
+    _copy_packed_into_composed(packed._cells, clone._cells, LSTM_GATES)
+    return clone
+
+
+def composed_gru_clone(packed: nn.GRU) -> ComposedGRU:
+    clone = ComposedGRU(packed.input_size, packed.hidden_size, packed.num_layers)
+    _copy_packed_into_composed(packed._cells, clone._cells, GRU_GATES)
+    return clone
+
+
+@pytest.fixture(scope="module")
+def training_setup():
+    dataset = build_tor_dataset(
+        n_censored=40, n_benign=40, rng=np.random.default_rng(7), max_packets=40
+    )
+    splits = dataset.split(rng=np.random.default_rng(9))
+    normalizer = FlowNormalizer(size_scale=1460.0, delay_scale=200.0)
+    return dict(normalizer=normalizer, flows=list(splits.clf_train.flows))
+
+
+def _fit_censor(setup, composed: bool) -> float:
+    censor = LSTMClassifier(
+        setup["normalizer"],
+        hidden_size=32,
+        num_layers=2,
+        epochs=2,
+        batch_size=16,
+        max_train_length=60,
+        rng=0,
+    )
+    if composed:
+        censor.network.register_module("lstm", composed_lstm_clone(censor.network.lstm))
+    start = time.perf_counter()
+    censor.fit(setup["flows"])
+    return time.perf_counter() - start
+
+
+def _step_encoder(encoder: StateEncoder, n_envs: int, ticks: int, rng) -> float:
+    pairs = rng.uniform(-1.0, 1.0, size=(ticks, n_envs, 2))
+    states = [encoder.initial_state() for _ in range(n_envs)]
+    start = time.perf_counter()
+    for t in range(ticks):
+        states = encoder.step_pairs(pairs[t], states)
+    return time.perf_counter() - start
+
+
+def _ppo_update_seconds() -> float:
+    config = AmoebaConfig.for_tor(n_envs=8, rollout_length=64)
+    rng = np.random.default_rng(11)
+    actor = GaussianActor(config.state_dim, hidden_dims=config.actor_hidden, rng=np.random.default_rng(1))
+    critic = Critic(config.state_dim, hidden_dims=config.critic_hidden, rng=np.random.default_rng(2))
+    updater = PPOUpdater(actor, critic, config, rng=np.random.default_rng(3))
+
+    buffer = RolloutBuffer(config.rollout_length, config.n_envs, config.state_dim, actor.action_dim)
+    while not buffer.full:
+        buffer.add(
+            states=rng.normal(size=(config.n_envs, config.state_dim)),
+            actions=rng.normal(size=(config.n_envs, actor.action_dim)),
+            log_probs=rng.normal(size=config.n_envs),
+            rewards=rng.normal(size=config.n_envs),
+            values=rng.normal(size=config.n_envs),
+            dones=rng.uniform(size=config.n_envs) < 0.05,
+        )
+    buffer.finalize(np.zeros(config.n_envs), config.gamma, config.gae_lambda)
+
+    start = time.perf_counter()
+    updater.update(buffer)
+    return time.perf_counter() - start
+
+
+def test_training_throughput_fused_vs_composed(training_setup):
+    # Warm up both variants so allocator/BLAS start-up cost biases neither
+    # timed run.
+    _fit_censor(training_setup, composed=False)
+    _fit_censor(training_setup, composed=True)
+
+    composed_fit = _fit_censor(training_setup, composed=True)
+    fused_fit = _fit_censor(training_setup, composed=False)
+    fit_speedup = composed_fit / fused_fit
+
+    n_envs, ticks = 8, 200
+    encoder = StateEncoder(hidden_size=32, num_layers=2, rng=np.random.default_rng(5))
+    composed_encoder = StateEncoder(hidden_size=32, num_layers=2, rng=np.random.default_rng(5))
+    composed_encoder.register_module("gru", composed_gru_clone(encoder.gru))
+    _step_encoder(encoder, n_envs, 20, np.random.default_rng(6))  # warm-up
+    _step_encoder(composed_encoder, n_envs, 20, np.random.default_rng(6))  # warm-up
+    composed_step = _step_encoder(composed_encoder, n_envs, ticks, np.random.default_rng(6))
+    fused_step = _step_encoder(encoder, n_envs, ticks, np.random.default_rng(6))
+    step_speedup = composed_step / fused_step
+
+    ppo_seconds = _ppo_update_seconds()
+
+    results = {
+        "censor_lstm_fit": {
+            "composed_seconds": round(composed_fit, 4),
+            "fused_seconds": round(fused_fit, 4),
+            "speedup": round(fit_speedup, 2),
+        },
+        "encoder_incremental_stepping": {
+            "n_envs": n_envs,
+            "ticks": ticks,
+            "composed_seconds": round(composed_step, 4),
+            "fused_seconds": round(fused_step, 4),
+            "speedup": round(step_speedup, 2),
+        },
+        "ppo_update_phase": {
+            "n_envs": 8,
+            "rollout_length": 64,
+            "seconds": round(ppo_seconds, 4),
+        },
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(
+        f"\ntraining throughput (fused packed-gate kernels vs composed graphs):\n"
+        f"  censor LSTM fit:    {composed_fit:.3f}s -> {fused_fit:.3f}s  ({fit_speedup:.2f}x)\n"
+        f"  encoder stepping:   {composed_step:.3f}s -> {fused_step:.3f}s  ({step_speedup:.2f}x)\n"
+        f"  PPO update phase:   {ppo_seconds:.3f}s\n"
+        f"  results written to {RESULTS_PATH.name}"
+    )
+
+    assert fit_speedup >= 2.0, f"censor LSTM fit speedup {fit_speedup:.2f}x below 2x target"
+    assert step_speedup >= 1.2, f"encoder stepping speedup {step_speedup:.2f}x below 1.2x floor"

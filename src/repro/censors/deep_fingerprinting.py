@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .. import nn
+from ..nn import functional as F
 from ..features.representation import SequenceRepresentation
 from ..flows.flow import Flow
 from ..utils.rng import ensure_rng
@@ -119,4 +120,4 @@ class DeepFingerprintingClassifier(CensorClassifier):
         batch = self._to_batch(flows)
         with nn.no_grad():
             logits = self.network(nn.Tensor(batch))
-        return 1.0 / (1.0 + np.exp(-logits.data.reshape(-1)))
+        return F.stable_sigmoid(logits.data.reshape(-1))

@@ -92,13 +92,16 @@ class LSTMClassifier(CensorClassifier):
         logger = TrainingLogger("lstm-censor")
         n_samples = len(flows)
 
+        # Normalise and pad every flow once; minibatches are then plain row
+        # selections instead of epochs × (n / batch_size) re-normalisations.
+        padded = self._to_padded_batch(flows)
+
         self.network.train()
         for _ in range(self.epochs):
             order = self._rng.permutation(n_samples)
             for start in range(0, n_samples, self.batch_size):
                 batch_idx = order[start : start + self.batch_size]
-                batch_flows = [flows[i] for i in batch_idx]
-                batch = self._to_padded_batch(batch_flows)
+                batch = padded[batch_idx]
                 targets = labels[batch_idx]
 
                 logits = self.network(nn.Tensor(batch)).reshape(-1)
@@ -118,4 +121,4 @@ class LSTMClassifier(CensorClassifier):
         with nn.no_grad():
             batch = self._to_padded_batch(flows, max_length=self.max_train_length)
             logits = self.network(nn.Tensor(batch)).data.reshape(-1)
-        return 1.0 / (1.0 + np.exp(-logits))
+        return F.stable_sigmoid(logits)

@@ -149,4 +149,4 @@ class SDAEClassifier(CensorClassifier):
         batch = self._to_batch(flows)
         with nn.no_grad():
             logits = self.network(nn.Tensor(batch))
-        return 1.0 / (1.0 + np.exp(-logits.data.reshape(-1)))
+        return F.stable_sigmoid(logits.data.reshape(-1))

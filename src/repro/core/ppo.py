@@ -73,10 +73,12 @@ class PPOUpdater:
                 log_probs, entropy = self.actor.log_prob_and_entropy(states, batch.actions)
                 ratio = (log_probs - old_log_probs).exp()
                 clipped_ratio = ratio.clip(1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon)
+                surrogate_raw = ratio * advantages
+                surrogate_clipped = clipped_ratio * advantages
                 surrogate = nn.Tensor.where(
-                    (ratio * advantages).data <= (clipped_ratio * advantages).data,
-                    ratio * advantages,
-                    clipped_ratio * advantages,
+                    surrogate_raw.data <= surrogate_clipped.data,
+                    surrogate_raw,
+                    surrogate_clipped,
                 )
                 policy_loss = -surrogate.mean() - config.entropy_coef * entropy
 
@@ -86,7 +88,7 @@ class PPOUpdater:
                 self.actor_optimizer.step()
 
                 # ---------------- critic ----------------
-                values = self.critic(nn.Tensor(batch.states))
+                values = self.critic(states)
                 value_loss = F.mse_loss(values, returns)
                 self.critic_optimizer.zero_grad()
                 value_loss.backward()

@@ -9,6 +9,14 @@ autoencoder on synthetic flows with maximal variability
 (``p ~ U(-1, 1)``, ``phi ~ U(0, 1)``), using random truncation lengths so it
 can encode prefixes of any length, and evaluated by the normalised
 reconstruction error (Figure 13).
+
+All recurrent compute here runs on the fused packed-gate kernels
+(:func:`repro.nn.functional.gru_sequence` inside :meth:`StateEncoder.forward`
+for pre-training and full re-encodes, :func:`repro.nn.functional.gru_cell`
+inside :meth:`StateEncoder.step_pairs` for the incremental rollout path).
+Both inference paths execute under :func:`repro.nn.row_consistent_matmul`,
+so the incremental state stays bit-identical to a full re-encode regardless
+of how environments are batched or how sequence GEMMs are hoisted.
 """
 
 from __future__ import annotations
@@ -97,9 +105,10 @@ class StateEncoder(nn.Module):
         ``pairs`` is an ``(n_envs, 2)`` batch — the newest observation or
         action of each environment — and ``states`` the matching incremental
         states.  All environments advance through the GRU as a single batched
-        forward; thanks to :func:`repro.nn.row_consistent_matmul` the result
-        for each row is bit-identical to stepping that environment alone,
-        and therefore to a full :meth:`encode_pairs` re-encode of its history.
+        forward (one fused ``gru_cell`` node per layer — two GEMMs each);
+        thanks to :func:`repro.nn.row_consistent_matmul` the result for each
+        row is bit-identical to stepping that environment alone, and
+        therefore to a full :meth:`encode_pairs` re-encode of its history.
         """
         pairs = np.asarray(pairs, dtype=np.float64)
         if pairs.ndim != 2 or pairs.shape[1] != 2:

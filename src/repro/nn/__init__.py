@@ -26,7 +26,13 @@ from .layers import (
 )
 from .optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
 from .recurrent import GRU, GRUCell, LSTM, LSTMCell
-from .serialization import load_module, load_state_dict, save_module, save_state_dict
+from .serialization import (
+    load_module,
+    load_state_dict,
+    pack_legacy_recurrent,
+    save_module,
+    save_state_dict,
+)
 from .tensor import (
     Tensor,
     as_tensor,
@@ -34,6 +40,7 @@ from .tensor import (
     is_grad_enabled,
     is_row_consistent_matmul,
     no_grad,
+    rc_matmul,
     row_consistent_matmul,
     stack,
 )
@@ -47,6 +54,7 @@ __all__ = [
     "is_grad_enabled",
     "row_consistent_matmul",
     "is_row_consistent_matmul",
+    "rc_matmul",
     "functional",
     "Module",
     "Parameter",
@@ -78,4 +86,5 @@ __all__ = [
     "load_module",
     "save_state_dict",
     "load_state_dict",
+    "pack_legacy_recurrent",
 ]

@@ -9,16 +9,17 @@ the PPO policy.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, is_grad_enabled, rc_matmul
 
 __all__ = [
     "relu",
     "sigmoid",
     "tanh",
+    "stable_sigmoid",
     "softmax",
     "log_softmax",
     "mse_loss",
@@ -29,6 +30,10 @@ __all__ = [
     "gaussian_log_prob",
     "gaussian_entropy",
     "huber_loss",
+    "gru_cell",
+    "gru_sequence",
+    "lstm_cell",
+    "lstm_sequence",
 ]
 
 _LOG_2PI = math.log(2.0 * math.pi)
@@ -134,3 +139,373 @@ def gaussian_entropy(log_std: Tensor) -> Tensor:
     log_std = as_tensor(log_std)
     per_dim = log_std + 0.5 * (_LOG_2PI + 1.0)
     return per_dim.sum(axis=-1).mean()
+
+
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable sigmoid on a raw numpy array.
+
+    ``1 / (1 + exp(-x))`` overflows (and warns) for large-magnitude negative
+    logits; branching on the sign keeps every ``exp`` argument non-positive.
+    Shared by the censor scoring paths, which apply it to unbounded head
+    logits outside the autodiff graph.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Fused recurrent kernels
+# --------------------------------------------------------------------------- #
+# Each primitive computes its forward in plain numpy on packed gate weights
+# (``w_x`` holding all input projections side by side, ``w_h`` all hidden
+# projections, ``b`` all biases), caches the gate activations and implements
+# the closed-form backward in a single ``_backward`` closure.  One cell step
+# therefore records one autograd node (two for the LSTM's ``(h, c)`` pair)
+# instead of the ~15 a composed Tensor-op formulation produces, and the
+# full-sequence variants record one node for an entire layer × time block,
+# hoisting all input projections into a single ``(B·T, in) @ (in, gates·H)``
+# GEMM before the time loop.
+#
+# Numerical contract: every elementwise expression mirrors the composed
+# formulation operation for operation (``(gx + gh) + b``, the same sigmoid /
+# tanh forms), and all projections route through ``rc_matmul``; fused and
+# composed forwards are therefore bit-identical, and inside a
+# ``row_consistent_matmul()`` context the step and sequence paths are
+# bit-identical to each other regardless of batch/time chunking.
+
+
+def _sigmoid_np(x: np.ndarray) -> np.ndarray:
+    # Deliberately the exact expression used by Tensor.sigmoid so fused and
+    # composed forwards stay bit-identical.
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def gru_cell(x: Tensor, hidden: Tensor, w_x: Tensor, w_h: Tensor, b: Tensor) -> Tensor:
+    """One fused GRU step: ``(B, in) × (B, H) -> (B, H)``.
+
+    Gate layout along the packed columns is ``[r | z | n]``::
+
+        r = sigmoid(gx_r + gh_r + b_r)
+        z = sigmoid(gx_z + gh_z + b_z)
+        n = tanh(gx_n + r * gh_n + b_n)
+        h' = (1 - z) * n + z * h
+
+    with ``gx = x @ w_x`` and ``gh = h @ w_h`` each a single GEMM.
+    """
+    x, hidden = as_tensor(x), as_tensor(hidden)
+    w_x, w_h, b = as_tensor(w_x), as_tensor(w_h), as_tensor(b)
+    size = hidden.data.shape[-1]
+
+    gx = rc_matmul(x.data, w_x.data)
+    gh = rc_matmul(hidden.data, w_h.data)
+    pre_rz = gx[:, : 2 * size] + gh[:, : 2 * size] + b.data[: 2 * size]
+    reset = _sigmoid_np(pre_rz[:, :size])
+    update = _sigmoid_np(pre_rz[:, size:])
+    gh_n = gh[:, 2 * size :]
+    candidate = np.tanh(gx[:, 2 * size :] + reset * gh_n + b.data[2 * size :])
+    out_data = (1.0 - update) * candidate + update * hidden.data
+
+    parents = (x, hidden, w_x, w_h, b)
+    if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        d_candidate = grad * (1.0 - update)
+        d_update = grad * (hidden.data - candidate)
+        d_pre_n = d_candidate * (1.0 - candidate ** 2)
+        d_reset = d_pre_n * gh_n
+        d_pre_r = d_reset * reset * (1.0 - reset)
+        d_pre_z = d_update * update * (1.0 - update)
+        d_gx = np.concatenate([d_pre_r, d_pre_z, d_pre_n], axis=1)
+        d_gh = np.concatenate([d_pre_r, d_pre_z, d_pre_n * reset], axis=1)
+        if x.requires_grad:
+            x._accumulate(d_gx @ w_x.data.T)
+        if hidden.requires_grad:
+            hidden._accumulate(grad * update + d_gh @ w_h.data.T)
+        if w_x.requires_grad:
+            w_x._accumulate(x.data.T @ d_gx)
+        if w_h.requires_grad:
+            w_h._accumulate(hidden.data.T @ d_gh)
+        if b.requires_grad:
+            b._accumulate(d_gx.sum(axis=0))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def gru_sequence(x: Tensor, w_x: Tensor, w_h: Tensor, b: Tensor, h0: Tensor) -> Tensor:
+    """Fused single-layer GRU over a ``(B, T, in)`` sequence.
+
+    All ``T`` input projections are hoisted out of the time loop into one
+    ``(B·T, in) @ (in, 3H)`` GEMM; the loop then performs one hidden GEMM and
+    the gate elementwise math per step.  Returns the ``(B, T, H)`` outputs as
+    a single autograd node whose backward runs the closed-form BPTT
+    recurrence, rebuilding ``dw_x`` / ``dx`` with two hoisted GEMMs.  The
+    final hidden state is ``outputs[:, -1, :]``.
+    """
+    x, h0 = as_tensor(x), as_tensor(h0)
+    w_x, w_h, b = as_tensor(w_x), as_tensor(w_h), as_tensor(b)
+    batch, steps, _ = x.data.shape
+    size = h0.data.shape[-1]
+    w_h_data, b_data = w_h.data, b.data
+
+    x_flat = np.ascontiguousarray(x.data.reshape(batch * steps, -1))
+    gx_all = rc_matmul(x_flat, w_x.data).reshape(batch, steps, 3 * size)
+
+    parents = (x, w_x, w_h, b, h0)
+    recording = is_grad_enabled() and any(p.requires_grad for p in parents)
+
+    outputs = np.empty((batch, steps, size))
+    if recording:
+        resets = np.empty((batch, steps, size))
+        updates = np.empty((batch, steps, size))
+        candidates = np.empty((batch, steps, size))
+        gh_ns = np.empty((batch, steps, size))
+        h_prevs = np.empty((batch, steps, size))
+
+    hidden = h0.data
+    for t in range(steps):
+        gx = gx_all[:, t, :]
+        gh = rc_matmul(hidden, w_h_data)
+        pre_rz = gx[:, : 2 * size] + gh[:, : 2 * size] + b_data[: 2 * size]
+        reset = _sigmoid_np(pre_rz[:, :size])
+        update = _sigmoid_np(pre_rz[:, size:])
+        gh_n = gh[:, 2 * size :]
+        candidate = np.tanh(gx[:, 2 * size :] + reset * gh_n + b_data[2 * size :])
+        if recording:
+            resets[:, t], updates[:, t] = reset, update
+            candidates[:, t], gh_ns[:, t] = candidate, gh_n
+            h_prevs[:, t] = hidden
+        hidden = (1.0 - update) * candidate + update * hidden
+        outputs[:, t] = hidden
+
+    if not recording:
+        return Tensor(outputs)
+
+    def backward(grad: np.ndarray) -> None:
+        d_gx_all = np.empty((batch, steps, 3 * size))
+        d_gh_all = np.empty((batch, steps, 3 * size))
+        d_hidden = np.zeros((batch, size))
+        for t in range(steps - 1, -1, -1):
+            d_hidden = d_hidden + grad[:, t]
+            reset, update = resets[:, t], updates[:, t]
+            candidate = candidates[:, t]
+            d_candidate = d_hidden * (1.0 - update)
+            d_update = d_hidden * (h_prevs[:, t] - candidate)
+            d_pre_n = d_candidate * (1.0 - candidate ** 2)
+            d_reset = d_pre_n * gh_ns[:, t]
+            d_pre_r = d_reset * reset * (1.0 - reset)
+            d_pre_z = d_update * update * (1.0 - update)
+            d_gx_all[:, t, :size] = d_pre_r
+            d_gx_all[:, t, size : 2 * size] = d_pre_z
+            d_gx_all[:, t, 2 * size :] = d_pre_n
+            d_gh_all[:, t, : 2 * size] = d_gx_all[:, t, : 2 * size]
+            d_gh_all[:, t, 2 * size :] = d_pre_n * reset
+            d_hidden = d_hidden * update + d_gh_all[:, t] @ w_h_data.T
+        d_gx_flat = d_gx_all.reshape(batch * steps, 3 * size)
+        if x.requires_grad:
+            x._accumulate((d_gx_flat @ w_x.data.T).reshape(x.data.shape))
+        if w_x.requires_grad:
+            w_x._accumulate(x_flat.T @ d_gx_flat)
+        if w_h.requires_grad:
+            w_h._accumulate(
+                h_prevs.reshape(batch * steps, size).T
+                @ d_gh_all.reshape(batch * steps, 3 * size)
+            )
+        if b.requires_grad:
+            b._accumulate(d_gx_flat.sum(axis=0))
+        if h0.requires_grad:
+            h0._accumulate(d_hidden)
+
+    return Tensor._make(outputs, parents, backward)
+
+
+def lstm_cell(
+    x: Tensor,
+    state: Tuple[Tensor, Tensor],
+    w_x: Tensor,
+    w_h: Tensor,
+    b: Tensor,
+) -> Tuple[Tensor, Tensor]:
+    """One fused LSTM step; returns ``(h', c')``.
+
+    Gate layout along the packed columns is ``[i | f | g | o]``::
+
+        i, f, o = sigmoid(pre);  g = tanh(pre)
+        c' = f * c + i * g
+        h' = o * tanh(c')
+
+    ``h'`` and ``c'`` are two autograd nodes sharing one cached forward; the
+    topological sort guarantees each node's backward fires once with its
+    fully-accumulated gradient, and their contributions to the shared
+    parents are additive.
+    """
+    hidden, cell = state
+    x, hidden, cell = as_tensor(x), as_tensor(hidden), as_tensor(cell)
+    w_x, w_h, b = as_tensor(w_x), as_tensor(w_h), as_tensor(b)
+    size = hidden.data.shape[-1]
+
+    pre = rc_matmul(x.data, w_x.data) + rc_matmul(hidden.data, w_h.data) + b.data
+    gate_i = _sigmoid_np(pre[:, :size])
+    gate_f = _sigmoid_np(pre[:, size : 2 * size])
+    gate_g = np.tanh(pre[:, 2 * size : 3 * size])
+    gate_o = _sigmoid_np(pre[:, 3 * size :])
+    new_cell = gate_f * cell.data + gate_i * gate_g
+    tanh_cell = np.tanh(new_cell)
+    new_hidden = gate_o * tanh_cell
+
+    parents = (x, hidden, cell, w_x, w_h, b)
+    if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+        return Tensor(new_hidden), Tensor(new_cell)
+
+    def propagate(d_cell: np.ndarray, d_pre_o: np.ndarray) -> None:
+        """Route a cell-state gradient (plus an output-gate pre-activation
+        gradient) back to the shared parents."""
+        d_i = d_cell * gate_g
+        d_f = d_cell * cell.data
+        d_g = d_cell * gate_i
+        d_pre = np.concatenate(
+            [
+                d_i * gate_i * (1.0 - gate_i),
+                d_f * gate_f * (1.0 - gate_f),
+                d_g * (1.0 - gate_g ** 2),
+                d_pre_o,
+            ],
+            axis=1,
+        )
+        if x.requires_grad:
+            x._accumulate(d_pre @ w_x.data.T)
+        if hidden.requires_grad:
+            hidden._accumulate(d_pre @ w_h.data.T)
+        if cell.requires_grad:
+            cell._accumulate(d_cell * gate_f)
+        if w_x.requires_grad:
+            w_x._accumulate(x.data.T @ d_pre)
+        if w_h.requires_grad:
+            w_h._accumulate(hidden.data.T @ d_pre)
+        if b.requires_grad:
+            b._accumulate(d_pre.sum(axis=0))
+
+    def backward_hidden(grad: np.ndarray) -> None:
+        d_o = grad * tanh_cell
+        d_cell = grad * gate_o * (1.0 - tanh_cell ** 2)
+        propagate(d_cell, d_o * gate_o * (1.0 - gate_o))
+
+    def backward_cell(grad: np.ndarray) -> None:
+        propagate(grad, np.zeros_like(grad))
+
+    return (
+        Tensor._make(new_hidden, parents, backward_hidden),
+        Tensor._make(new_cell, parents, backward_cell),
+    )
+
+
+def lstm_sequence(
+    x: Tensor,
+    w_x: Tensor,
+    w_h: Tensor,
+    b: Tensor,
+    h0: Tensor,
+    c0: Tensor,
+) -> Tuple[Tensor, Tensor]:
+    """Fused single-layer LSTM over a ``(B, T, in)`` sequence.
+
+    Input projections for all timesteps are hoisted into one
+    ``(B·T, in) @ (in, 4H)`` GEMM.  Returns ``(outputs, final_cell)``:
+    ``outputs`` is a ``(B, T, H)`` node whose backward is the closed-form
+    BPTT recurrence (the final hidden state is ``outputs[:, -1, :]``), and
+    ``final_cell`` is a second node over the same cached forward so
+    gradients flowing into the final cell state alone are also supported.
+    """
+    x, h0, c0 = as_tensor(x), as_tensor(h0), as_tensor(c0)
+    w_x, w_h, b = as_tensor(w_x), as_tensor(w_h), as_tensor(b)
+    batch, steps, _ = x.data.shape
+    size = h0.data.shape[-1]
+    w_h_data, b_data = w_h.data, b.data
+
+    x_flat = np.ascontiguousarray(x.data.reshape(batch * steps, -1))
+    gx_all = rc_matmul(x_flat, w_x.data).reshape(batch, steps, 4 * size)
+
+    parents = (x, w_x, w_h, b, h0, c0)
+    recording = is_grad_enabled() and any(p.requires_grad for p in parents)
+
+    outputs = np.empty((batch, steps, size))
+    if recording:
+        gates_i = np.empty((batch, steps, size))
+        gates_f = np.empty((batch, steps, size))
+        gates_g = np.empty((batch, steps, size))
+        gates_o = np.empty((batch, steps, size))
+        tanh_cells = np.empty((batch, steps, size))
+        h_prevs = np.empty((batch, steps, size))
+        c_prevs = np.empty((batch, steps, size))
+
+    hidden, cell = h0.data, c0.data
+    for t in range(steps):
+        pre = gx_all[:, t, :] + rc_matmul(hidden, w_h_data) + b_data
+        gate_i = _sigmoid_np(pre[:, :size])
+        gate_f = _sigmoid_np(pre[:, size : 2 * size])
+        gate_g = np.tanh(pre[:, 2 * size : 3 * size])
+        gate_o = _sigmoid_np(pre[:, 3 * size :])
+        new_cell = gate_f * cell + gate_i * gate_g
+        tanh_cell = np.tanh(new_cell)
+        if recording:
+            gates_i[:, t], gates_f[:, t] = gate_i, gate_f
+            gates_g[:, t], gates_o[:, t] = gate_g, gate_o
+            tanh_cells[:, t] = tanh_cell
+            h_prevs[:, t], c_prevs[:, t] = hidden, cell
+        cell = new_cell
+        hidden = gate_o * tanh_cell
+        outputs[:, t] = hidden
+
+    if not recording:
+        return Tensor(outputs), Tensor(cell)
+
+    def run_bptt(grad_outputs: Optional[np.ndarray], grad_final_cell: Optional[np.ndarray]) -> None:
+        d_pre_all = np.empty((batch, steps, 4 * size))
+        d_hidden = np.zeros((batch, size))
+        d_cell = np.zeros((batch, size)) if grad_final_cell is None else grad_final_cell.copy()
+        for t in range(steps - 1, -1, -1):
+            if grad_outputs is not None:
+                d_hidden = d_hidden + grad_outputs[:, t]
+            gate_i, gate_f = gates_i[:, t], gates_f[:, t]
+            gate_g, gate_o = gates_g[:, t], gates_o[:, t]
+            tanh_cell = tanh_cells[:, t]
+            d_o = d_hidden * tanh_cell
+            d_cell = d_cell + d_hidden * gate_o * (1.0 - tanh_cell ** 2)
+            d_pre_all[:, t, :size] = d_cell * gate_g * gate_i * (1.0 - gate_i)
+            d_pre_all[:, t, size : 2 * size] = d_cell * c_prevs[:, t] * gate_f * (1.0 - gate_f)
+            d_pre_all[:, t, 2 * size : 3 * size] = d_cell * gate_i * (1.0 - gate_g ** 2)
+            d_pre_all[:, t, 3 * size :] = d_o * gate_o * (1.0 - gate_o)
+            d_hidden = d_pre_all[:, t] @ w_h_data.T
+            d_cell = d_cell * gate_f
+        d_pre_flat = d_pre_all.reshape(batch * steps, 4 * size)
+        if x.requires_grad:
+            x._accumulate((d_pre_flat @ w_x.data.T).reshape(x.data.shape))
+        if w_x.requires_grad:
+            w_x._accumulate(x_flat.T @ d_pre_flat)
+        if w_h.requires_grad:
+            w_h._accumulate(
+                h_prevs.reshape(batch * steps, size).T
+                @ d_pre_all.reshape(batch * steps, 4 * size)
+            )
+        if b.requires_grad:
+            b._accumulate(d_pre_flat.sum(axis=0))
+        if h0.requires_grad:
+            h0._accumulate(d_hidden)
+        if c0.requires_grad:
+            c0._accumulate(d_cell)
+
+    def backward_outputs(grad: np.ndarray) -> None:
+        run_bptt(grad, None)
+
+    def backward_final_cell(grad: np.ndarray) -> None:
+        run_bptt(None, grad)
+
+    return (
+        Tensor._make(outputs, parents, backward_outputs),
+        Tensor._make(cell, parents, backward_final_cell),
+    )

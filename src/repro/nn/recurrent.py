@@ -3,6 +3,28 @@
 The Amoeba StateEncoder is a two-layer GRU (paper Appendix A.2) and one of
 the censoring classifiers is a multi-layer LSTM (Rimmer et al.).  Both are
 implemented here on top of the autodiff :class:`~repro.nn.Tensor`.
+
+Parameter layout (cuDNN-style packing)
+--------------------------------------
+Each cell stores three packed parameters instead of one weight/bias triple
+per gate:
+
+* ``w_x`` — ``(input_size, n_gates * hidden_size)``: all input projections
+  side by side (GRU gate order ``[r | z | n]``, LSTM ``[i | f | g | o]``).
+* ``w_h`` — ``(hidden_size, n_gates * hidden_size)``: all hidden projections.
+* ``b``  — ``(n_gates * hidden_size,)``: all biases.
+
+One step is therefore two GEMMs (``x @ w_x`` and ``h @ w_h``) plus the gate
+elementwise math, executed by the fused autograd primitives in
+:mod:`repro.nn.functional` (``gru_cell`` / ``lstm_cell`` for single steps,
+``gru_sequence`` / ``lstm_sequence`` for whole layer × time blocks with the
+input projections hoisted into a single GEMM).  Initialisation draws the
+per-gate blocks in the same order and with the same shapes as the legacy
+per-gate layout, so seeded runs produce identical weights; legacy per-gate
+checkpoints are folded into the packed layout on load by
+:func:`repro.nn.serialization.pack_legacy_recurrent`.  The legacy per-gate
+names (``w_xr``, ``b_f``, …) remain readable on the cells as views into the
+packed arrays.
 """
 
 from __future__ import annotations
@@ -12,13 +34,55 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from . import init
+from . import functional as F
 from .layers import Module, Parameter
 from .tensor import Tensor, as_tensor
 
 __all__ = ["GRUCell", "GRU", "LSTMCell", "LSTM"]
 
 
-class GRUCell(Module):
+class _PackedRecurrentCell(Module):
+    """Shared packed-parameter plumbing for GRU/LSTM cells.
+
+    Subclasses define ``GATES`` (the per-gate suffix order of the packed
+    columns) and ``_bias_for_gate``.  The constructor draws each gate's
+    blocks in the legacy order — input weight, hidden weight, bias — so the
+    random stream matches the historical per-gate layout exactly.
+    """
+
+    GATES: Tuple[str, ...] = ()
+
+    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        rng = rng or np.random.default_rng()
+        w_x_blocks, w_h_blocks, b_blocks = [], [], []
+        for gate in self.GATES:
+            w_x_blocks.append(init.xavier_uniform((input_size, hidden_size), rng=rng))
+            w_h_blocks.append(init.orthogonal((hidden_size, hidden_size), rng=rng))
+            b_blocks.append(self._bias_for_gate(gate))
+        self.w_x = Parameter(np.concatenate(w_x_blocks, axis=1), name="w_x")
+        self.w_h = Parameter(np.concatenate(w_h_blocks, axis=1), name="w_h")
+        self.b = Parameter(np.concatenate(b_blocks), name="b")
+
+    def _bias_for_gate(self, gate: str) -> np.ndarray:
+        return init.zeros((self.hidden_size,))
+
+    def __getattr__(self, name: str):
+        # Legacy per-gate views (w_xr, w_hz, b_f, ...) as slices of the
+        # packed parameters, kept for introspection and tests.
+        params = self.__dict__.get("_parameters", {})
+        for prefix, packed_name in (("w_x", "w_x"), ("w_h", "w_h"), ("b_", "b")):
+            gate = name[len(prefix):]
+            if name.startswith(prefix) and gate in type(self).GATES and packed_name in params:
+                index = type(self).GATES.index(gate)
+                size = self.__dict__["hidden_size"]
+                return Tensor(params[packed_name].data[..., index * size : (index + 1) * size])
+        raise AttributeError(f"{type(self).__name__!s} object has no attribute {name!r}")
+
+
+class GRUCell(_PackedRecurrentCell):
     """Single gated-recurrent-unit cell.
 
     Follows the standard formulation::
@@ -27,24 +91,16 @@ class GRUCell(Module):
         z = sigmoid(x W_xz + h W_hz + b_z)
         n = tanh(x W_xn + r * (h W_hn) + b_n)
         h' = (1 - z) * n + z * h
+
+    with the three gates packed into single ``w_x`` / ``w_h`` / ``b``
+    parameters and evaluated by the fused :func:`repro.nn.functional.gru_cell`
+    primitive (one autograd node per step).
     """
 
-    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__()
-        self.input_size = input_size
-        self.hidden_size = hidden_size
-        rng = rng or np.random.default_rng()
-        for gate in ("r", "z", "n"):
-            setattr(self, f"w_x{gate}", Parameter(init.xavier_uniform((input_size, hidden_size), rng=rng)))
-            setattr(self, f"w_h{gate}", Parameter(init.orthogonal((hidden_size, hidden_size), rng=rng)))
-            setattr(self, f"b_{gate}", Parameter(init.zeros((hidden_size,))))
+    GATES = ("r", "z", "n")
 
     def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
-        x, hidden = as_tensor(x), as_tensor(hidden)
-        reset = (x @ self.w_xr + hidden @ self.w_hr + self.b_r).sigmoid()
-        update = (x @ self.w_xz + hidden @ self.w_hz + self.b_z).sigmoid()
-        candidate = (x @ self.w_xn + reset * (hidden @ self.w_hn) + self.b_n).tanh()
-        return (1.0 - update) * candidate + update * hidden
+        return F.gru_cell(as_tensor(x), as_tensor(hidden), self.w_x, self.w_h, self.b)
 
     def initial_state(self, batch_size: int) -> Tensor:
         return Tensor(np.zeros((batch_size, self.hidden_size)))
@@ -88,10 +144,11 @@ class GRU(Module):
         Returns
         -------
         The new per-layer hidden state list; the top layer (``[-1]``) is the
-        sequence representation after folding in ``x_t``.  Incrementally
-        stepping a sequence one element at a time produces exactly the same
-        states as :meth:`forward` over the whole sequence — this is what lets
-        the rollout engine encode histories in O(1) work per tick instead of
+        sequence representation after folding in ``x_t``.  Under
+        :func:`repro.nn.row_consistent_matmul` incrementally stepping a
+        sequence one element at a time produces exactly the same states as
+        :meth:`forward` over the whole sequence — this is what lets the
+        rollout engine encode histories in O(1) work per tick instead of
         re-encoding from scratch.
         """
         x_t = as_tensor(x_t)
@@ -122,45 +179,44 @@ class GRU(Module):
         outputs, hidden:
             ``outputs`` has shape ``(batch, time, hidden_size)`` (top layer);
             ``hidden`` is the final per-layer hidden state list.
+
+        Each layer runs as one fused :func:`repro.nn.functional.gru_sequence`
+        call — a single autograd node covering the whole layer × time block,
+        with all input projections hoisted into one GEMM.
         """
         x = as_tensor(x)
-        batch, steps, _ = x.shape
+        batch = x.shape[0]
         if hidden is None:
             hidden = self.initial_state(batch)
         else:
             hidden = list(hidden)
 
-        outputs: List[Tensor] = []
-        for t in range(steps):
-            hidden = self.step(x[:, t, :], hidden)
-            outputs.append(hidden[-1])
-        return Tensor.stack(outputs, axis=1), hidden
+        sequence = x
+        new_hidden: List[Tensor] = []
+        for layer, cell in enumerate(self._cells):
+            sequence = F.gru_sequence(sequence, cell.w_x, cell.w_h, cell.b, hidden[layer])
+            new_hidden.append(sequence[:, -1, :])
+        return sequence, new_hidden
 
 
-class LSTMCell(Module):
-    """Single long short-term memory cell with forget-gate bias of 1."""
+class LSTMCell(_PackedRecurrentCell):
+    """Single long short-term memory cell with forget-gate bias of 1.
 
-    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__()
-        self.input_size = input_size
-        self.hidden_size = hidden_size
-        rng = rng or np.random.default_rng()
-        for gate in ("i", "f", "g", "o"):
-            setattr(self, f"w_x{gate}", Parameter(init.xavier_uniform((input_size, hidden_size), rng=rng)))
-            setattr(self, f"w_h{gate}", Parameter(init.orthogonal((hidden_size, hidden_size), rng=rng)))
-            bias = np.ones(hidden_size) if gate == "f" else np.zeros(hidden_size)
-            setattr(self, f"b_{gate}", Parameter(bias))
+    The four gates (``i``, ``f``, ``g``, ``o``) are packed into single
+    ``w_x`` / ``w_h`` / ``b`` parameters and evaluated by the fused
+    :func:`repro.nn.functional.lstm_cell` primitive.
+    """
+
+    GATES = ("i", "f", "g", "o")
+
+    def _bias_for_gate(self, gate: str) -> np.ndarray:
+        return np.ones(self.hidden_size) if gate == "f" else np.zeros(self.hidden_size)
 
     def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
         hidden, cell = state
-        x, hidden, cell = as_tensor(x), as_tensor(hidden), as_tensor(cell)
-        input_gate = (x @ self.w_xi + hidden @ self.w_hi + self.b_i).sigmoid()
-        forget_gate = (x @ self.w_xf + hidden @ self.w_hf + self.b_f).sigmoid()
-        candidate = (x @ self.w_xg + hidden @ self.w_hg + self.b_g).tanh()
-        output_gate = (x @ self.w_xo + hidden @ self.w_ho + self.b_o).sigmoid()
-        new_cell = forget_gate * cell + input_gate * candidate
-        new_hidden = output_gate * new_cell.tanh()
-        return new_hidden, new_cell
+        return F.lstm_cell(
+            as_tensor(x), (as_tensor(hidden), as_tensor(cell)), self.w_x, self.w_h, self.b
+        )
 
     def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
         zeros = np.zeros((batch_size, self.hidden_size))
@@ -211,15 +267,25 @@ class LSTM(Module):
         x: Tensor,
         state: Optional[List[Tuple[Tensor, Tensor]]] = None,
     ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        """Run the LSTM over a ``(batch, time, input_size)`` sequence.
+
+        Each layer is one fused :func:`repro.nn.functional.lstm_sequence`
+        call; the per-layer final hidden state is the last output slice and
+        the final cell state is the fused primitive's second output.
+        """
         x = as_tensor(x)
-        batch, steps, _ = x.shape
+        batch = x.shape[0]
         if state is None:
             state = self.initial_state(batch)
         else:
             state = list(state)
 
-        outputs: List[Tensor] = []
-        for t in range(steps):
-            state = self.step(x[:, t, :], state)
-            outputs.append(state[-1][0])
-        return Tensor.stack(outputs, axis=1), state
+        sequence = x
+        new_state: List[Tuple[Tensor, Tensor]] = []
+        for layer, cell in enumerate(self._cells):
+            h0, c0 = state[layer]
+            sequence, final_cell = F.lstm_sequence(
+                sequence, cell.w_x, cell.w_h, cell.b, as_tensor(h0), as_tensor(c0)
+            )
+            new_state.append((sequence[:, -1, :], final_cell))
+        return sequence, new_state

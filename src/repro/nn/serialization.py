@@ -2,6 +2,18 @@
 
 Used to snapshot trained censoring classifiers, the pre-trained StateEncoder
 and Amoeba policies so experiments can reuse them without retraining.
+
+Checkpoint compatibility
+------------------------
+Recurrent cells historically stored one weight matrix and bias per gate
+(``…w_xr`` / ``…w_xz`` / ``…w_xn`` for a GRU cell); they now store packed
+``…w_x`` / ``…w_h`` / ``…b`` matrices with the gate blocks concatenated
+along the output axis (GRU gate order ``r, z, n``; LSTM ``i, f, g, o``).
+:func:`pack_legacy_recurrent` folds a legacy per-gate state dict into the
+packed layout and is applied automatically by :func:`load_state_dict`, so
+old ``.npz`` snapshots keep loading unchanged.  Packing only triggers when a
+parameter prefix carries the *complete* gate set of one cell type, which
+keeps unrelated parameters that merely share a suffix untouched.
 """
 
 from __future__ import annotations
@@ -15,7 +27,53 @@ import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_module", "load_module", "save_state_dict", "load_state_dict"]
+__all__ = [
+    "save_module",
+    "load_module",
+    "save_state_dict",
+    "load_state_dict",
+    "pack_legacy_recurrent",
+]
+
+# (packed leaf name, legacy leaf names in packed column order, concat axis)
+_LEGACY_GATE_GROUPS = (
+    # GRU: gates r, z, n
+    ("w_x", ("w_xr", "w_xz", "w_xn"), 1),
+    ("w_h", ("w_hr", "w_hz", "w_hn"), 1),
+    ("b", ("b_r", "b_z", "b_n"), 0),
+    # LSTM: gates i, f, g, o
+    ("w_x", ("w_xi", "w_xf", "w_xg", "w_xo"), 1),
+    ("w_h", ("w_hi", "w_hf", "w_hg", "w_ho"), 1),
+    ("b", ("b_i", "b_f", "b_g", "b_o"), 0),
+)
+
+
+def pack_legacy_recurrent(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Fold legacy per-gate recurrent parameters into the packed layout.
+
+    For every parameter prefix (e.g. ``gru.cell0.``) that carries a complete
+    per-gate group — all three GRU gates or all four LSTM gates of one kind —
+    the per-gate entries are concatenated into the corresponding packed
+    parameter (``w_x`` / ``w_h`` / ``b``).  State dicts already in the packed
+    layout pass through unchanged.
+    """
+    packed = dict(state)
+    for packed_leaf, legacy_leaves, axis in _LEGACY_GATE_GROUPS:
+        prefixes = {
+            key[: -len(legacy_leaves[0])]
+            for key in state
+            if key.endswith(legacy_leaves[0])
+        }
+        for prefix in prefixes:
+            legacy_keys = [f"{prefix}{leaf}" for leaf in legacy_leaves]
+            if not all(key in packed for key in legacy_keys):
+                continue
+            packed[f"{prefix}{packed_leaf}"] = np.concatenate(
+                [np.asarray(packed[key]) for key in legacy_keys], axis=axis
+            )
+            for key in legacy_keys:
+                del packed[key]
+    return packed
 
 PathLike = Union[str, Path]
 
@@ -36,12 +94,17 @@ def save_state_dict(state: Dict[str, np.ndarray], path: PathLike, metadata: Opti
 
 
 def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
-    """Load a state dict previously written by :func:`save_state_dict`."""
+    """Load a state dict previously written by :func:`save_state_dict`.
+
+    Legacy per-gate recurrent parameters are transparently folded into the
+    packed layout (see :func:`pack_legacy_recurrent`).
+    """
     path = Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
     with np.load(path) as archive:
-        return {key: archive[key] for key in archive.files if key != _META_KEY}
+        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+    return pack_legacy_recurrent(state)
 
 
 def load_metadata(path: PathLike) -> dict:

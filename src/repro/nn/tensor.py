@@ -34,6 +34,7 @@ __all__ = [
     "as_tensor",
     "row_consistent_matmul",
     "is_row_consistent_matmul",
+    "rc_matmul",
 ]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
@@ -91,6 +92,22 @@ def row_consistent_matmul():
 def is_row_consistent_matmul() -> bool:
     """Return ``True`` when matmul forwards are forced batch-size-invariant."""
     return _ROW_CONSISTENT_MATMUL
+
+
+def rc_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Raw-array 2-D matmul honouring :func:`row_consistent_matmul`.
+
+    The fused recurrent kernels in :mod:`repro.nn.functional` compute their
+    forwards directly on numpy arrays (bypassing :meth:`Tensor.matmul`), so
+    they route every gate projection through this helper to preserve the
+    batch-size-invariance contract: inside a :func:`row_consistent_matmul`
+    context each output row depends only on the reduction length, making a
+    hoisted ``(B·T, in)`` projection bit-identical, row for row, to the
+    per-step ``(B, in)`` projection the incremental ``step`` path performs.
+    """
+    if _ROW_CONSISTENT_MATMUL and a.ndim == 2 and b.ndim == 2:
+        return np.einsum("ik,kh->ih", a, b)
+    return a @ b
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
