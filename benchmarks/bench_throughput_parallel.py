@@ -1,0 +1,192 @@
+"""Sharded rollout collection: multi-process workers vs single process.
+
+PR 1 batched rollout collection inside one process; the sharded engine
+(`repro.distrib`) forks W collection workers, each hosting its own
+``VectorFlowEnv`` shard plus censor replica, refreshed per iteration by an
+in-memory checkpoint broadcast.  This benchmark drives both paths on
+identically seeded agents and checks:
+
+* **bit-equivalence** — the merged sharded rollout equals the
+  single-process rollout exactly (buffers, rewards, dones, final states)
+  and the summed censor-replica query deltas equal the single-process
+  query count (the per-flow accounting of Figures 7–9);
+* **throughput** — steps/s for both paths, written to
+  ``BENCH_parallel.json``.  The speedup is reported, not asserted against
+  a floor: on single-core CI runners the fork + pipe overhead makes W=2
+  roughly break even, while multi-core machines see near-linear scaling of
+  the censor-scoring-dominated collect phase.  A generous sanity bound
+  catches pathological regressions (e.g. replay storms or serialization
+  blow-ups) without flaking on slow machines.
+
+Runs as a 2-worker CI smoke test, self-contained and under a minute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.censors import RandomForestCensor
+from repro.core import Amoeba, AmoebaConfig
+from repro.distrib import ShardedRolloutEngine, ShardRunner
+from repro.features import FlowNormalizer
+from repro.flows import build_tor_dataset
+from repro.nn.serialization import state_dict_to_bytes
+from repro.utils.rng import collection_seed_tree
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+
+N_ENVS = 8
+N_WORKERS = 2
+ROLLOUT_LENGTH = 24
+N_ITERATIONS = 2
+
+ARRAY_FIELDS = ("states", "actions", "log_probs", "values", "rewards", "dones")
+
+
+@pytest.fixture(scope="module")
+def parallel_setup():
+    dataset = build_tor_dataset(
+        n_censored=40, n_benign=40, rng=np.random.default_rng(7), max_packets=30
+    )
+    splits = dataset.split(rng=np.random.default_rng(9))
+    normalizer = FlowNormalizer(size_scale=1460.0, delay_scale=200.0)
+    # A forest censor keeps per-flow scoring heavy enough that the collect
+    # phase (which is what sharding parallelises) dominates IPC overhead.
+    censor = RandomForestCensor(n_estimators=20, rng=3).fit(splits.clf_train.flows)
+    config = AmoebaConfig.for_tor(
+        n_envs=N_ENVS,
+        rollout_length=ROLLOUT_LENGTH,
+        max_episode_steps=40,
+        encoder_hidden=16,
+        actor_hidden=(32,),
+        critic_hidden=(32,),
+        reward_mask_rate=0.3,
+    )
+    return dict(
+        censor=censor,
+        normalizer=normalizer,
+        config=config,
+        flows=splits.attack_train.censored_flows,
+    )
+
+
+def _fresh_agent(setup) -> Amoeba:
+    return Amoeba(
+        setup["censor"],
+        setup["normalizer"],
+        setup["config"],
+        rng=42,
+        encoder_pretrain_kwargs=dict(n_flows=20, max_length=10, epochs=1),
+    )
+
+
+def _collect_single_process(setup):
+    agent = _fresh_agent(setup)
+    tree = collection_seed_tree(agent._rng, N_ENVS)
+    runner = ShardRunner(
+        agent.actor,
+        agent.critic,
+        agent.state_encoder,
+        setup["censor"],
+        setup["normalizer"],
+        setup["config"],
+        setup["flows"],
+        tree,
+    )
+    queries_before = setup["censor"].query_count
+    start = time.perf_counter()
+    rollouts = [runner.collect(ROLLOUT_LENGTH) for _ in range(N_ITERATIONS)]
+    elapsed = time.perf_counter() - start
+    return rollouts, setup["censor"].query_count - queries_before, elapsed
+
+
+def _collect_sharded(setup):
+    agent = _fresh_agent(setup)
+    tree = collection_seed_tree(agent._rng, N_ENVS)
+    engine = ShardedRolloutEngine.for_agent(agent, setup["flows"], tree, N_WORKERS)
+    payload = state_dict_to_bytes(agent._policy_state())
+    try:
+        # Warm the workers (fork + first pipe turnaround) outside the timing.
+        engine.broadcast(payload)
+        start = time.perf_counter()
+        rollouts = []
+        for _ in range(N_ITERATIONS):
+            engine.broadcast(payload)
+            rollouts.append(engine.collect(ROLLOUT_LENGTH))
+        elapsed = time.perf_counter() - start
+    finally:
+        engine.close()
+    return rollouts, sum(rollout.query_delta for rollout in rollouts), elapsed
+
+
+def test_sharded_collection_equivalence_and_throughput(parallel_setup):
+    single_rollouts, single_queries, single_time = _collect_single_process(parallel_setup)
+    sharded_rollouts, sharded_queries, sharded_time = _collect_sharded(parallel_setup)
+
+    # Bit-equivalence: merged shard segments == single-process segments.
+    for single, sharded in zip(single_rollouts, sharded_rollouts):
+        for name in ARRAY_FIELDS:
+            assert np.array_equal(getattr(sharded, name), getattr(single, name)), name
+        assert np.array_equal(sharded.final_states, single.final_states)
+    assert single_queries == sharded_queries
+
+    total_steps = N_ITERATIONS * ROLLOUT_LENGTH * N_ENVS
+    speedup = single_time / sharded_time
+    cpu_count = os.cpu_count() or 1
+    results = {
+        "n_envs": N_ENVS,
+        "workers": N_WORKERS,
+        "rollout_length": ROLLOUT_LENGTH,
+        "iterations": N_ITERATIONS,
+        "cpu_count": cpu_count,
+        "single_process": {
+            "seconds": round(single_time, 4),
+            "steps_per_s": round(total_steps / single_time, 1),
+        },
+        "sharded": {
+            "seconds": round(sharded_time, 4),
+            "steps_per_s": round(total_steps / sharded_time, 1),
+            "speedup": round(speedup, 2),
+        },
+        "queries": single_queries,
+        "bit_equivalent": True,
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(
+        f"\nsharded rollout collection, n_envs={N_ENVS}, workers={N_WORKERS}, "
+        f"cpus={cpu_count}:\n"
+        f"  single process: {total_steps / single_time:8.1f} steps/s ({single_time:.3f}s)\n"
+        f"  sharded:        {total_steps / sharded_time:8.1f} steps/s ({sharded_time:.3f}s)\n"
+        f"  speedup:        {speedup:.2f}x\n"
+        f"  results written to {RESULTS_PATH.name}"
+    )
+
+    # Sanity bound only (see module docstring): sharding must stay within
+    # the same order of magnitude even on single-core machines.
+    assert speedup >= 0.2, f"sharded collection pathologically slow: {speedup:.2f}x"
+
+
+def test_sharded_restart_overhead_bounded(parallel_setup):
+    """A worker restart replays the command log without changing results."""
+    import signal
+
+    agent = _fresh_agent(parallel_setup)
+    tree = collection_seed_tree(agent._rng, N_ENVS)
+    engine = ShardedRolloutEngine.for_agent(agent, parallel_setup["flows"], tree, N_WORKERS)
+    payload = state_dict_to_bytes(agent._policy_state())
+    try:
+        engine.broadcast(payload)
+        first = engine.collect(ROLLOUT_LENGTH)
+        os.kill(engine.processes[0].pid, signal.SIGKILL)
+        second = engine.collect(ROLLOUT_LENGTH)
+        assert engine.restarts_performed >= 1
+        assert first.states.shape == second.states.shape
+    finally:
+        engine.close()

@@ -3,15 +3,19 @@
 The seed implementation collected PPO rollouts one environment at a time:
 O(n_envs) actor/critic forwards per tick, one censor query per unmasked step
 per environment, and a full O(T) GRU re-encode of the growing history at
-every step (O(T²) per episode).  The vectorized engine steps all
-environments per tick with one batched actor/critic forward, one censor
-score batch and two incremental encoder steps.
+every step (O(T²) per episode).  The vectorized engine
+(:class:`repro.distrib.ShardRunner`, the same collection kernel the training
+loop and the sharded workers run) steps all environments per tick with one
+batched actor/critic forward, one censor score batch and two incremental
+encoder steps.
 
 This benchmark measures both collection paths on identically seeded agents
 and checks (a) the batched path is bit-equivalent — same rewards, same
-censor query count — and (b) it is at least 3× faster at ``n_envs=8``.
-It is intentionally self-contained (no shared ``tor_suite`` fixtures) so CI
-can run it as a smoke test in well under a minute.
+censor query count — and (b) its speedup at ``n_envs=8``.  Both paths build
+their environments and exploration-noise streams from the same collection
+seed tree, so trajectories match bit for bit.  It is intentionally
+self-contained (no shared ``tor_suite`` fixtures) so CI can run it as a
+smoke test in well under a minute.
 """
 
 from __future__ import annotations
@@ -23,9 +27,11 @@ import pytest
 
 from repro.censors import DecisionTreeCensor
 from repro.core import Amoeba, AmoebaConfig, RolloutBuffer
-from repro.core.vec_env import BatchedEpisodeEncoder, VectorFlowEnv
+from repro.core.vec_env import build_envs_from_seed_tree
+from repro.distrib import ShardRunner
 from repro.features import FlowNormalizer
 from repro.flows import build_tor_dataset
+from repro.utils.rng import collection_seed_tree
 
 N_ENVS = 8
 ROLLOUT_LENGTH = 48
@@ -66,29 +72,58 @@ def _fresh_agent(setup) -> Amoeba:
     )
 
 
+def _make_runner(agent: Amoeba, flows) -> ShardRunner:
+    """The batched engine: one inline shard hosting all environment slots."""
+    return ShardRunner(
+        agent.actor,
+        agent.critic,
+        agent.state_encoder,
+        agent.censor,
+        agent.normalizer,
+        agent.config,
+        flows,
+        collection_seed_tree(agent._rng, agent.config.n_envs),
+    )
+
+
 def _collect_rollout(agent: Amoeba, flows, vectorized: bool):
     """Fill one PPO rollout buffer; returns (buffer, censor queries, seconds)."""
     config = agent.config
-    envs = agent._make_envs(flows, config.n_envs)
     buffer = RolloutBuffer(
         config.rollout_length, config.n_envs, config.state_dim, agent.actor.action_dim
     )
-    summaries = []
     queries_before = agent.censor.query_count
-    start = time.perf_counter()
     if vectorized:
-        vec_env = VectorFlowEnv(envs, auto_reset=True)
-        tracker = BatchedEpisodeEncoder(agent.state_encoder, config.n_envs)
-        states = tracker.reset_all(vec_env.reset())
-        while not buffer.full:
-            states = agent._collect_tick_batched(vec_env, tracker, buffer, states, summaries)
+        runner = _make_runner(agent, flows)
+        start = time.perf_counter()
+        result = runner.collect(config.rollout_length)
+        elapsed = time.perf_counter() - start
+        buffer.load(
+            result.states,
+            result.actions,
+            result.log_probs,
+            result.rewards,
+            result.values,
+            result.dones,
+        )
     else:
+        # Same seed tree as the runner: envs from the env streams, per-slot
+        # exploration noise from the noise streams.
+        seed_tree = collection_seed_tree(agent._rng, config.n_envs)
+        envs = build_envs_from_seed_tree(
+            agent.censor, agent.normalizer, config, flows, seed_tree
+        )
+        noise_rngs = [np.random.default_rng(noise_seq) for _, noise_seq in seed_tree]
+        summaries = []
+        start = time.perf_counter()
         for env in envs:
             env.reset()
         states = np.stack([agent.encode_state(env) for env in envs])
         while not buffer.full:
-            states = agent._collect_tick_sequential(envs, buffer, states, summaries)
-    elapsed = time.perf_counter() - start
+            states = agent._collect_tick_sequential(
+                envs, buffer, states, summaries, noise_rngs
+            )
+        elapsed = time.perf_counter() - start
     return buffer, agent.censor.query_count - queries_before, elapsed
 
 
@@ -135,20 +170,10 @@ def test_rollout_collection_speedup_and_equivalence(throughput_setup):
 def test_batched_tick_latency(benchmark, throughput_setup):
     """pytest-benchmark timing of one fully batched collection tick."""
     agent = _fresh_agent(throughput_setup)
-    config = agent.config
-    envs = agent._make_envs(throughput_setup["flows"], config.n_envs)
-    vec_env = VectorFlowEnv(envs, auto_reset=True)
-    tracker = BatchedEpisodeEncoder(agent.state_encoder, config.n_envs)
-    state_holder = {"states": tracker.reset_all(vec_env.reset())}
-    buffer = RolloutBuffer(
-        config.rollout_length, config.n_envs, config.state_dim, agent.actor.action_dim
-    )
+    runner = _make_runner(agent, throughput_setup["flows"])
+    runner.collect(1)  # start episodes outside the timed region
 
     def one_tick():
-        if buffer.full:
-            buffer.reset()
-        state_holder["states"] = agent._collect_tick_batched(
-            vec_env, tracker, buffer, state_holder["states"], []
-        )
+        runner.collect(1)
 
     benchmark(one_tick)

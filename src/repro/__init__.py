@@ -18,13 +18,16 @@ Subpackages
 ``repro.core``
     Amoeba itself: StateEncoder, adversarial environment, PPO, agent,
     profiles.
+``repro.distrib``
+    Distributed tier: sharded multi-process rollout collection with
+    checkpoint broadcast, and the fault-tolerant sweep orchestrator.
 ``repro.attacks``
     White-box baselines (CW, NIDSGAN, BAP).
 ``repro.eval``
     Evaluation metrics, transferability, convergence curves and reporting.
 """
 
-from . import attacks, censors, core, eval, features, flows, ml, nn, pipeline, utils
+from . import attacks, censors, core, distrib, eval, features, flows, ml, nn, pipeline, utils
 from .core import AdversarialResult, Amoeba, AmoebaConfig, EvaluationReport
 from .flows import Flow, FlowDataset, FlowLabel, build_tor_dataset, build_v2ray_dataset
 

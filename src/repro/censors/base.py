@@ -118,5 +118,17 @@ class CensorClassifier(abc.ABC):
     def reset_query_count(self) -> None:
         self._query_count = 0
 
+    def record_external_queries(self, count: int) -> None:
+        """Fold queries issued by a replica of this censor into the counter.
+
+        The sharded rollout engine forks one censor replica per worker; each
+        replica counts the flows it scores locally and the driver folds the
+        per-collect deltas back here, so ``query_count`` reflects the same
+        one-query-per-flow accounting as single-process collection.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._query_count += int(count)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, fitted={self._fitted})"

@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--timesteps", type=int, default=3000)
     attack.add_argument("--eval-flows", type=int, default=20)
     attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard rollout collection across this many worker processes "
+        "(0 = in-process; n_envs must divide evenly)",
+    )
     attack.add_argument("--save-policy", default=None, help="path to save the trained policy (.npz)")
     attack.add_argument("--save-adversarial", default=None, help="path to save adversarial flows (JSONL)")
 
@@ -121,7 +128,13 @@ def _command_attack(args: argparse.Namespace) -> int:
     baseline = classifier_detection_report(censor, data.splits.test.flows)
     print(f"censor {args.censor}: accuracy={baseline['accuracy']:.3f} F1={baseline['f1']:.3f} (no attack)")
 
-    agent = train_amoeba(censor, data, total_timesteps=args.timesteps, rng=args.seed + 2)
+    agent = train_amoeba(
+        censor,
+        data,
+        total_timesteps=args.timesteps,
+        rng=args.seed + 2,
+        workers=args.workers or None,
+    )
     report = agent.evaluate(data.splits.test.censored_flows[: args.eval_flows])
     print(
         format_table(

@@ -66,14 +66,24 @@ class GaussianActor(nn.Module):
         mean = self.body(states)
         return mean, self.log_std
 
-    def act(self, state: np.ndarray, deterministic: bool = False) -> Tuple[np.ndarray, float]:
+    def act(
+        self,
+        state: np.ndarray,
+        deterministic: bool = False,
+        noise: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, float]:
         """Sample an action for a single state; returns (action, log_prob)."""
         state = np.asarray(state, dtype=np.float64).reshape(1, -1)
-        actions, log_probs = self.act_batch(state, deterministic=deterministic)
+        if noise is not None:
+            noise = np.asarray(noise, dtype=np.float64).reshape(1, -1)
+        actions, log_probs = self.act_batch(state, deterministic=deterministic, noise=noise)
         return actions[0], float(log_probs[0])
 
     def act_batch(
-        self, states: np.ndarray, deterministic: bool = False
+        self,
+        states: np.ndarray,
+        deterministic: bool = False,
+        noise: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample actions for a batch of states in one forward pass.
 
@@ -83,6 +93,12 @@ class GaussianActor(nn.Module):
         ``i``-th sequential :meth:`act` call would use, and the forward runs
         under :func:`repro.nn.row_consistent_matmul`, so a batched call is
         bit-equivalent to ``n`` sequential single-state calls.
+
+        ``noise`` optionally supplies the standard-normal draws (one
+        ``(n, action_dim)`` row per state) instead of consuming the actor's
+        own generator.  The collection engines use this to give every
+        environment slot its own noise stream, which keeps trajectories
+        independent of how slots are batched or sharded across processes.
         """
         states = np.asarray(states, dtype=np.float64)
         if states.ndim != 2:
@@ -94,7 +110,15 @@ class GaussianActor(nn.Module):
         if deterministic:
             actions = mean.copy()
         else:
-            actions = mean + self._rng.normal(size=(len(states), self.action_dim)) * std
+            if noise is None:
+                noise = self._rng.normal(size=(len(states), self.action_dim))
+            else:
+                noise = np.asarray(noise, dtype=np.float64)
+                if noise.shape != (len(states), self.action_dim):
+                    raise ValueError(
+                        f"noise must have shape {(len(states), self.action_dim)}, got {noise.shape}"
+                    )
+            actions = mean + noise * std
         log_probs = np.sum(
             -0.5 * ((actions - mean) / std) ** 2
             - np.log(std)

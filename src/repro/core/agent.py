@@ -21,16 +21,21 @@ from .. import nn
 from ..censors.base import CensorClassifier
 from ..features.representation import FlowNormalizer
 from ..flows.flow import Flow, FlowLabel
-from ..nn.serialization import load_state_dict, save_state_dict
+from ..nn.serialization import (
+    load_prefixed_state,
+    load_state_dict,
+    save_state_dict,
+    state_dict_to_bytes,
+)
 from ..utils.logging import TrainingLogger
-from ..utils.rng import ensure_rng, spawn_rngs
+from ..utils.rng import collection_seed_tree, ensure_rng, spawn_rngs
 from .actor_critic import Critic, GaussianActor
 from .config import AmoebaConfig
 from .env import ActionKind, AdversarialFlowEnv, EpisodeSummary
 from .ppo import PPOUpdater
 from .rollout import RolloutBuffer
 from .state_encoder import StateEncoder, pretrain_state_encoder
-from .vec_env import BatchedEpisodeEncoder, VectorFlowEnv
+from .vec_env import BatchedEpisodeEncoder, VectorFlowEnv, build_envs_from_seed_tree
 
 __all__ = ["Amoeba", "AdversarialResult", "EvaluationReport"]
 
@@ -160,33 +165,11 @@ class Amoeba:
             raise ValueError("no censored flows provided to train the attack on")
         return censored
 
-    def _make_envs(self, flows: Sequence[Flow], n_envs: int) -> List[AdversarialFlowEnv]:
-        env_rngs = spawn_rngs(self._rng, n_envs)
-        return [
-            AdversarialFlowEnv(self.censor, self.normalizer, self.config, flows, rng=env_rng)
-            for env_rng in env_rngs
-        ]
-
-    def _collect_tick_batched(
-        self,
-        vec_env: VectorFlowEnv,
-        tracker: BatchedEpisodeEncoder,
-        buffer: RolloutBuffer,
-        states: np.ndarray,
-        recent_summaries: List[EpisodeSummary],
-    ) -> np.ndarray:
-        """One vectorized tick: O(1) model forwards and one censor batch."""
-        actions, log_probs = self.actor.act_batch(states)
-        values = self.critic.value_batch(states)
-        observations, rewards, dones, infos = vec_env.step(actions)
-        buffer.add(states, actions, log_probs, rewards, values, dones)
-        for info in infos:
-            if "episode" in info:
-                summary: EpisodeSummary = info["episode"]
-                recent_summaries.append(summary)
-                self._episode_successes.append(summary.success)
-        recorded_actions = np.stack([info["recorded_action"] for info in infos])
-        return tracker.step(recorded_actions, observations, dones)
+    def _draw_noise(self, noise_rngs: Optional[List[np.random.Generator]]) -> Optional[np.ndarray]:
+        """Per-slot exploration noise from the collection seed tree, if any."""
+        if noise_rngs is None:
+            return None
+        return np.stack([rng.normal(size=self.actor.action_dim) for rng in noise_rngs])
 
     def _collect_tick_sequential(
         self,
@@ -194,6 +177,7 @@ class Amoeba:
         buffer: RolloutBuffer,
         states: np.ndarray,
         recent_summaries: List[EpisodeSummary],
+        noise_rngs: Optional[List[np.random.Generator]] = None,
     ) -> np.ndarray:
         """The seed per-environment collection loop, kept as the reference
         path for equivalence testing and ablation (O(n_envs) model forwards
@@ -205,9 +189,12 @@ class Amoeba:
         rewards = np.zeros(config.n_envs)
         dones = np.zeros(config.n_envs, dtype=bool)
         next_states = np.zeros_like(states)
+        noise = self._draw_noise(noise_rngs)
 
         for index, env in enumerate(envs):
-            action, log_prob = self.actor.act(states[index])
+            action, log_prob = self.actor.act(
+                states[index], noise=None if noise is None else noise[index]
+            )
             value = self.critic.value(states[index])
             _, reward, done, info = env.step(action)
             actions[index] = action
@@ -234,6 +221,7 @@ class Amoeba:
         eval_size: int = 20,
         callback: Optional[Callable[[Dict], None]] = None,
         vectorized: bool = True,
+        workers: Optional[int] = None,
     ) -> TrainingLogger:
         """Train the policy against the censor on the given censored flows.
 
@@ -244,76 +232,146 @@ class Amoeba:
         ``vectorized`` selects the batched collection engine (default): all
         ``n_envs`` environments advance per tick with one actor/critic
         forward, one incremental encoder step and one censor score batch.
-        ``vectorized=False`` keeps the per-environment reference loop.  Both
-        paths consume identical RNG streams and issue identical censor
-        queries; policy/encoder inference is bit-equivalent by construction
-        (:func:`repro.nn.row_consistent_matmul`), so trajectories match
-        exactly for censors whose scoring is batch-size invariant (trees,
-        SVM) and up to the thresholded censor score for neural censors,
-        whose BLAS forwards may differ in the last ULP across batch shapes.
+        ``vectorized=False`` keeps the per-environment reference loop.
+
+        ``workers`` shards collection across that many forked worker
+        processes (``n_envs`` must divide evenly): each worker hosts its
+        contiguous slice of the environment slots plus a censor replica, is
+        refreshed each iteration with the current actor/critic/encoder
+        checkpoint, and returns its rollout segment for a deterministic
+        merge; PPO updates stay in this process.  A crashed worker is
+        restarted by command-log replay without corrupting the rollout.
+
+        All collection modes build their environment and exploration-noise
+        generators from the same per-slot seed tree
+        (:func:`repro.utils.rng.collection_seed_tree`) and run policy /
+        encoder inference under :func:`repro.nn.row_consistent_matmul`, so
+        their trajectories are bit-identical for censors whose scoring is
+        batch-size invariant (trees, SVM) and match up to the thresholded
+        censor score for neural censors, whose BLAS forwards may differ in
+        the last ULP across batch shapes.
         """
         if total_timesteps < 1:
             raise ValueError("total_timesteps must be >= 1")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for in-process collection)")
+        if workers is not None and not vectorized:
+            # The sequential reference loop exists precisely to pin down the
+            # single-env scoring batch shape; silently running it sharded
+            # (and therefore vectorized) would defeat that purpose.
+            raise ValueError("workers requires the vectorized engine (vectorized=True)")
         flows = self._filter_censored(flows)
         config = self.config
-        envs = self._make_envs(flows, config.n_envs)
         buffer = RolloutBuffer(
             config.rollout_length, config.n_envs, config.state_dim, self.actor.action_dim
         )
 
-        if vectorized:
-            vec_env = VectorFlowEnv(envs, auto_reset=True)
-            tracker = BatchedEpisodeEncoder(self.state_encoder, config.n_envs)
-            states = tracker.reset_all(vec_env.reset())
+        # One (env stream, noise stream) pair per environment slot, consumed
+        # identically by every collection mode (see the seed-tree layout in
+        # repro.utils.rng).
+        seed_tree = collection_seed_tree(self._rng, config.n_envs)
+
+        # Imported lazily: repro.distrib imports repro.core at module scope,
+        # so top-level imports here would be circular.
+        engine = None
+        runner = None
+        if workers is not None:
+            from ..distrib.sharded import ShardedRolloutEngine
+
+            engine = ShardedRolloutEngine.for_agent(self, flows, seed_tree, workers)
+        elif vectorized:
+            # The in-process vectorized path is one inline shard hosting all
+            # slots — the same collection kernel the workers run, so there
+            # is exactly one batched tick implementation to keep correct.
+            from ..distrib.shard import ShardRunner
+
+            runner = ShardRunner(
+                self.actor,
+                self.critic,
+                self.state_encoder,
+                self.censor,
+                self.normalizer,
+                config,
+                flows,
+                seed_tree,
+            )
         else:
+            noise_rngs = [np.random.default_rng(noise_seq) for _, noise_seq in seed_tree]
+            envs = build_envs_from_seed_tree(
+                self.censor, self.normalizer, config, flows, seed_tree
+            )
             for env in envs:
                 env.reset()
             states = np.stack([self.encode_state(env) for env in envs])
 
         steps_done = 0
-        while steps_done < total_timesteps:
-            buffer.reset()
-            recent_summaries: List[EpisodeSummary] = []
-            while not buffer.full:
-                if vectorized:
-                    states = self._collect_tick_batched(
-                        vec_env, tracker, buffer, states, recent_summaries
+        try:
+            while steps_done < total_timesteps:
+                buffer.reset()
+                recent_summaries: List[EpisodeSummary] = []
+                if engine is not None or runner is not None:
+                    if engine is not None:
+                        engine.broadcast(state_dict_to_bytes(self._policy_state()))
+                        result = engine.collect(config.rollout_length)
+                        # Worker censor replicas counted these queries; fold
+                        # them into this process's censor (the inline runner
+                        # queries self.censor directly, so nothing to fold).
+                        self.censor.record_external_queries(result.query_delta)
+                    else:
+                        result = runner.collect(config.rollout_length)
+                    buffer.load(
+                        result.states,
+                        result.actions,
+                        result.log_probs,
+                        result.rewards,
+                        result.values,
+                        result.dones,
                     )
+                    for _tick, _env_index, summary in result.summaries:
+                        recent_summaries.append(summary)
+                        self._episode_successes.append(summary.success)
+                    steps_done += config.rollout_length * config.n_envs
+                    final_states = result.final_states
                 else:
-                    states = self._collect_tick_sequential(
-                        envs, buffer, states, recent_summaries
-                    )
-                steps_done += config.n_envs
+                    while not buffer.full:
+                        states = self._collect_tick_sequential(
+                            envs, buffer, states, recent_summaries, noise_rngs
+                        )
+                        steps_done += config.n_envs
+                    final_states = states
 
-            last_values = self.critic.value_batch(states)
-            buffer.finalize(last_values, config.gamma, config.gae_lambda)
-            stats = self.updater.update(buffer)
-            self._timesteps_trained += config.rollout_length * config.n_envs
+                last_values = self.critic.value_batch(final_states)
+                buffer.finalize(last_values, config.gamma, config.gae_lambda)
+                stats = self.updater.update(buffer)
+                self._timesteps_trained += config.rollout_length * config.n_envs
 
-            window = self._episode_successes[-50:]
-            train_asr = float(np.mean(window)) if window else 0.0
-            record = {
-                "timesteps": float(self._timesteps_trained),
-                "queries": float(self.censor.query_count),
-                "train_asr": train_asr,
-                "mean_reward": float(buffer.rewards.mean()),
-                "policy_loss": stats.policy_loss,
-                "value_loss": stats.value_loss,
-                "entropy": stats.entropy,
-            }
-            if (
-                eval_flows is not None
-                and eval_every is not None
-                and (self._timesteps_trained // (config.rollout_length * config.n_envs))
-                % max(1, eval_every)
-                == 0
-            ):
-                sample = list(eval_flows)[:eval_size]
-                report = self.evaluate(sample)
-                record["test_asr"] = report.attack_success_rate
-            self.training_log.log(**record)
-            if callback is not None:
-                callback(record)
+                window = self._episode_successes[-50:]
+                train_asr = float(np.mean(window)) if window else 0.0
+                record = {
+                    "timesteps": float(self._timesteps_trained),
+                    "queries": float(self.censor.query_count),
+                    "train_asr": train_asr,
+                    "mean_reward": float(buffer.rewards.mean()),
+                    "policy_loss": stats.policy_loss,
+                    "value_loss": stats.value_loss,
+                    "entropy": stats.entropy,
+                }
+                if (
+                    eval_flows is not None
+                    and eval_every is not None
+                    and (self._timesteps_trained // (config.rollout_length * config.n_envs))
+                    % max(1, eval_every)
+                    == 0
+                ):
+                    sample = list(eval_flows)[:eval_size]
+                    report = self.evaluate(sample)
+                    record["test_asr"] = report.attack_success_rate
+                self.training_log.log(**record)
+                if callback is not None:
+                    callback(record)
+        finally:
+            if engine is not None:
+                engine.close()
 
         return self.training_log
 
@@ -384,10 +442,17 @@ class Amoeba:
         are identical to attacking one by one; each flow's final censor
         score is computed from the same adversarial flow either way, but for
         neural censors its last bits may vary with the scoring batch shape.
+
+        When ``batch_size`` is omitted, ``config.eval_batch_size`` is used
+        if set (e.g. plumbed through :func:`~repro.core.arms_race.run_arms_race`),
+        falling back to ``max(n_envs, 8)``.
         """
         flows = list(flows)
         if batch_size is None:
-            batch_size = max(self.config.n_envs, 8)
+            if self.config.eval_batch_size is not None:
+                batch_size = self.config.eval_batch_size
+            else:
+                batch_size = max(self.config.n_envs, 8)
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         results: List[AdversarialResult] = []
@@ -419,8 +484,13 @@ class Amoeba:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save_policy(self, path) -> None:
-        """Persist actor, critic and state-encoder parameters."""
+    def _policy_state(self) -> Dict[str, np.ndarray]:
+        """Combined actor/critic/encoder state dict with name prefixes.
+
+        This is both the on-disk checkpoint layout (:meth:`save_policy`) and
+        the broadcast payload refreshing sharded rollout workers each
+        iteration (after :func:`repro.nn.state_dict_to_bytes`).
+        """
         state = {}
         for prefix, module in (
             ("actor", self.actor),
@@ -429,23 +499,24 @@ class Amoeba:
         ):
             for name, value in module.state_dict().items():
                 state[f"{prefix}.{name}"] = value
-        save_state_dict(state, path, metadata={"timesteps_trained": self._timesteps_trained})
+        return state
+
+    def save_policy(self, path) -> None:
+        """Persist actor, critic and state-encoder parameters."""
+        save_state_dict(
+            self._policy_state(), path, metadata={"timesteps_trained": self._timesteps_trained}
+        )
 
     def load_policy(self, path) -> None:
         """Load parameters saved by :meth:`save_policy`."""
-        state = load_state_dict(path)
-        for prefix, module in (
-            ("actor", self.actor),
-            ("critic", self.critic),
-            ("encoder", self.state_encoder),
-        ):
-            module.load_state_dict(
-                {
-                    name[len(prefix) + 1 :]: value
-                    for name, value in state.items()
-                    if name.startswith(f"{prefix}.")
-                }
-            )
+        load_prefixed_state(
+            load_state_dict(path),
+            (
+                ("actor", self.actor),
+                ("critic", self.critic),
+                ("encoder", self.state_encoder),
+            ),
+        )
 
     @property
     def timesteps_trained(self) -> int:

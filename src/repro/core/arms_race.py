@@ -76,6 +76,7 @@ def run_arms_race(
     harvest_per_round: int = 30,
     config: Optional[AmoebaConfig] = None,
     eval_batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
     rng=None,
 ) -> ArmsRaceResult:
     """Run ``n_rounds`` of censor-retrains / attacker-retrains.
@@ -98,13 +99,19 @@ def run_arms_race(
         (labelled censored) to its next training set.
     eval_batch_size:
         Number of flows attacked in lockstep when measuring the attacker's
-        ASR each round (defaults to the agent's own batched-evaluate sizing);
-        every round's evaluation goes through the vectorized rollout engine.
+        ASR each round; plumbed into ``config.eval_batch_size`` so every
+        round's batched evaluation picks it up (``None`` keeps the agent's
+        own ``max(n_envs, 8)`` sizing).
+    workers:
+        When set, each round's rollout collection is sharded across that
+        many forked worker processes (``Amoeba.train(workers=...)``).
     """
     if n_rounds < 1:
         raise ValueError("n_rounds must be >= 1")
     rng = ensure_rng(rng)
     config = config or AmoebaConfig.for_tor()
+    if eval_batch_size is not None:
+        config = config.with_overrides(eval_batch_size=eval_batch_size)
 
     collected: List[Flow] = []
     rounds: List[ArmsRaceRound] = []
@@ -118,8 +125,8 @@ def run_arms_race(
 
         # 2. Attacker trains a fresh agent against the updated censor.
         agent = Amoeba(censor, normalizer, config, rng=round_rng)
-        agent.train(attack_train_flows, total_timesteps=amoeba_timesteps)
-        report = agent.evaluate(eval_flows, batch_size=eval_batch_size)
+        agent.train(attack_train_flows, total_timesteps=amoeba_timesteps, workers=workers)
+        report = agent.evaluate(eval_flows)
 
         # 3. Censor harvests a sample of this round's adversarial flows.
         harvested = [result.adversarial_flow for result in report.results[:harvest_per_round]]

@@ -28,6 +28,7 @@ which is how the paper counts "actual queries" in Figures 8 and 9.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -163,6 +164,34 @@ class AdversarialFlowEnv:
         self._steps = 0
         self._done = True
         self.last_summary: Optional[EpisodeSummary] = None
+
+    # Attributes shared with the driver and identical in every process fork;
+    # everything else in __dict__ is per-episode / per-stream mutable state
+    # and belongs in a state snapshot.
+    _STATIC_ATTRS = frozenset({"censor", "normalizer", "config", "_flows"})
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """Picklable deep copy of all mutable episode and stream state.
+
+        Covers the RNG stream, flow-order cursor and in-flight episode
+        bookkeeping — everything needed to resume this environment
+        bit-identically in another process (used by the sharded rollout
+        engine's restart snapshots).  Static collaborators (censor,
+        normalizer, config, flow pool) are excluded; the restoring side
+        supplies its own identical copies.
+        """
+        return copy.deepcopy(
+            {
+                key: value
+                for key, value in self.__dict__.items()
+                if key not in self._STATIC_ATTRS
+            }
+        )
+
+    def state_restore(self, snapshot: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_snapshot` (deep-copies, so the caller's
+        snapshot survives this environment's subsequent mutations)."""
+        self.__dict__.update(copy.deepcopy(snapshot))
 
     # ------------------------------------------------------------------ #
     # Flow pool management

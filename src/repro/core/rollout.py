@@ -122,6 +122,33 @@ class RolloutBuffer:
         self.dones[index] = dones
         self._cursor += 1
 
+    def load(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        log_probs: np.ndarray,
+        rewards: np.ndarray,
+        values: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Fill the whole buffer from pre-collected ``(T, N, ...)`` arrays.
+
+        Used by the sharded rollout engine, whose workers return full
+        per-shard segments: the merged arrays replace timestep-by-timestep
+        :meth:`add` calls and leave the buffer ready for :meth:`finalize`.
+        """
+        expected = (self.rollout_length, self.n_envs)
+        rewards = np.asarray(rewards, dtype=np.float64)
+        if rewards.shape != expected:
+            raise ValueError(f"rewards must have shape {expected}, got {rewards.shape}")
+        self.states[:] = states
+        self.actions[:] = actions
+        self.log_probs[:] = log_probs
+        self.rewards[:] = rewards
+        self.values[:] = values
+        self.dones[:] = dones
+        self._cursor = self.rollout_length
+
     def finalize(self, last_values: np.ndarray, gamma: float, gae_lambda: float) -> None:
         """Compute advantages and returns once the buffer is full."""
         if not self.full:

@@ -35,7 +35,26 @@ import numpy as np
 from .env import AdversarialFlowEnv, PendingStep
 from .state_encoder import EncoderState, StateEncoder
 
-__all__ = ["VectorFlowEnv", "BatchedEpisodeEncoder"]
+__all__ = ["VectorFlowEnv", "BatchedEpisodeEncoder", "build_envs_from_seed_tree"]
+
+
+def build_envs_from_seed_tree(
+    censor, normalizer, config, flows, seed_tree
+) -> List[AdversarialFlowEnv]:
+    """One :class:`AdversarialFlowEnv` per ``(env, noise)`` seed pair.
+
+    The single construction point for every collection path (in-process
+    training, benchmarks, sharded workers): slot ``i`` gets a generator from
+    the *env* stream of pair ``i`` of a
+    :func:`repro.utils.rng.collection_seed_tree`, so environments built from
+    the same tree behave bit-identically wherever they are hosted.
+    """
+    return [
+        AdversarialFlowEnv(
+            censor, normalizer, config, flows, rng=np.random.default_rng(env_seq)
+        )
+        for env_seq, _ in seed_tree
+    ]
 
 
 class VectorFlowEnv:
@@ -205,6 +224,24 @@ class BatchedEpisodeEncoder:
                 for i in indices
             ]
         )
+
+    def snapshot(self) -> Dict[str, List[np.ndarray]]:
+        """Copy of the tracked per-environment hidden states (picklable)."""
+        return {
+            "observation": [state.hidden.copy() for state in self._observation_states],
+            "action": [state.hidden.copy() for state in self._action_states],
+        }
+
+    def restore(self, snapshot: Dict[str, List[np.ndarray]]) -> None:
+        """Inverse of :meth:`snapshot`."""
+        if len(snapshot["observation"]) != self.n_envs or len(snapshot["action"]) != self.n_envs:
+            raise ValueError("snapshot does not match this tracker's n_envs")
+        self._observation_states = [
+            EncoderState(hidden=np.asarray(hidden).copy()) for hidden in snapshot["observation"]
+        ]
+        self._action_states = [
+            EncoderState(hidden=np.asarray(hidden).copy()) for hidden in snapshot["action"]
+        ]
 
     # ------------------------------------------------------------------ #
     def reset_all(self, observations: np.ndarray) -> np.ndarray:

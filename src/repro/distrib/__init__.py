@@ -1,0 +1,39 @@
+"""Distributed rollout collection and sweep orchestration.
+
+This package hosts the multi-process tier of the reproduction:
+
+``repro.distrib.shard``
+    :class:`ShardRunner` — the per-process collection kernel: a
+    :class:`~repro.core.vec_env.VectorFlowEnv` shard, its incremental state
+    tracker, per-slot exploration-noise streams and actor/critic/encoder
+    replicas refreshed from broadcast checkpoints.
+``repro.distrib.sharded``
+    :class:`ShardedRolloutEngine` — forks W workers, broadcasts checkpoints
+    as bytes, merges per-shard rollout segments deterministically, and
+    restarts crashed workers by deterministic command-log replay.
+``repro.distrib.sweep``
+    :class:`SweepOrchestrator` — schedules independent experiment grid
+    points (arms-race rounds, reward-masking sweeps) across a worker pool
+    with per-task retry and a JSON results manifest.
+
+Determinism contract: under :func:`repro.nn.row_consistent_matmul`, sharded
+collection with ``W × n_envs_per_shard`` environments is bit-equivalent to
+single-process vectorized collection with the same ``n_envs`` — identical
+buffers, rewards, episode summaries and per-flow censor query counts.  See
+the seed-tree layout in :mod:`repro.utils.rng`.
+"""
+
+from .shard import ShardResult, ShardRunner
+from .sharded import MergedRollout, ShardedRolloutEngine
+from .sweep import SweepOrchestrator, SweepTask, SweepTaskRecord, amoeba_grid_task
+
+__all__ = [
+    "ShardRunner",
+    "ShardResult",
+    "ShardedRolloutEngine",
+    "MergedRollout",
+    "SweepOrchestrator",
+    "SweepTask",
+    "SweepTaskRecord",
+    "amoeba_grid_task",
+]

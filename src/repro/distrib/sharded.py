@@ -1,0 +1,390 @@
+"""Sharded rollout engine: W forked collection workers, one merged rollout.
+
+The engine partitions the global environment batch into ``W`` contiguous
+shards, forks one worker process per shard (each hosting a
+:class:`~repro.distrib.shard.ShardRunner` — its own
+:class:`~repro.core.vec_env.VectorFlowEnv`, censor replica and per-slot
+seed streams), and drives them with two commands per PPO iteration:
+
+1. :meth:`ShardedRolloutEngine.broadcast` ships the current actor / critic /
+   encoder checkpoint as in-memory ``.npz`` bytes
+   (:func:`repro.nn.state_dict_to_bytes`) to every worker;
+2. :meth:`ShardedRolloutEngine.collect` has every shard advance
+   ``rollout_length`` ticks and merges the per-shard segments along the
+   environment axis, in worker order, into one ``(T, W·n_shard, ...)``
+   rollout.
+
+Determinism contract
+--------------------
+Because every environment slot owns its seed streams (see the seed-tree
+layout in :mod:`repro.utils.rng`) and all policy / encoder inference runs
+under :func:`repro.nn.row_consistent_matmul`, the merged rollout is
+bit-equivalent to what a single-process vectorized engine over the same
+``n_envs`` would collect — same buffers, rewards, episode summaries and
+per-flow censor query counts.
+
+Fault tolerance
+---------------
+Workers are deterministic functions of (seed tree, command history).  The
+engine keeps a command log — broadcast payloads and collect lengths, in
+order — and restarts a crashed worker (pipe EOF / broken pipe) by forking
+a fresh process and replaying the log, which fast-forwards the replacement
+to the exact state of the lost worker before re-answering the in-flight
+command.  Replayed collect results (and their censor-query deltas) are
+discarded, so the merged rollout and query accounting are unaffected by
+restarts.  After every successful collect the engine snapshots each
+worker's mutable collection state (environment episodes, seed streams,
+tracked encoder states, query counters — weights stay driver-side as the
+last broadcast payload) and truncates the log, so both the log and a
+restart's replay cost stay O(1) in the number of iterations: a recovery
+restores the latest snapshot, re-applies the last checkpoint and replays
+at most the current iteration's commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import multiprocessing
+import numpy as np
+
+from ..core.env import EpisodeSummary
+from .shard import ShardResult, ShardRunner
+from .worker import worker_main
+
+__all__ = ["ShardedRolloutEngine", "MergedRollout"]
+
+_PIPE_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
+
+
+@dataclass
+class MergedRollout:
+    """Per-shard segments merged back into global ``(T, n_envs, ...)`` arrays.
+
+    ``summaries`` lists finished episodes as ``(tick, global_env, summary)``
+    sorted the way the single-process engine emits them (tick-major, then
+    environment order); ``query_delta`` sums the per-replica censor query
+    deltas, preserving the one-query-per-flow accounting.
+    """
+
+    states: np.ndarray
+    actions: np.ndarray
+    log_probs: np.ndarray
+    values: np.ndarray
+    rewards: np.ndarray
+    dones: np.ndarray
+    final_states: np.ndarray
+    summaries: List[Tuple[int, int, EpisodeSummary]]
+    query_delta: int
+
+
+@dataclass
+class _WorkerHandle:
+    index: int
+    process: multiprocessing.Process
+    conn: object
+
+
+class ShardedRolloutEngine:
+    """Forks W rollout workers and merges their shard segments.
+
+    Parameters
+    ----------
+    runner_factory:
+        ``runner_factory(worker_index) -> ShardRunner``, executed *inside*
+        the freshly forked worker.  Closures are fine — the fork start
+        method never pickles them — which is also why ``fork`` is the only
+        supported start method.
+    n_workers:
+        Number of worker processes (= number of shards).
+    max_restarts:
+        Restart budget per recovery attempt before the fault is re-raised.
+    """
+
+    def __init__(
+        self,
+        runner_factory: Callable[[int], ShardRunner],
+        n_workers: int,
+        max_restarts: int = 3,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ShardedRolloutEngine requires the 'fork' start method "
+                "(POSIX only): workers inherit censor replicas and network "
+                "architectures by copy-on-write instead of pickling"
+            )
+        self._context = multiprocessing.get_context("fork")
+        self._runner_factory = runner_factory
+        self._n_workers = n_workers
+        self._max_restarts = max_restarts
+        self._log: List[tuple] = []
+        self._snapshots: Optional[list] = None
+        self._last_payload: Optional[bytes] = None
+        self._restarts = 0
+        self._closed = False
+        self._workers: List[_WorkerHandle] = [
+            self._spawn(index) for index in range(n_workers)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_agent(
+        cls,
+        agent,
+        flows: Sequence,
+        seed_tree: Sequence[Tuple[np.random.SeedSequence, np.random.SeedSequence]],
+        n_workers: int,
+        max_restarts: int = 3,
+    ) -> "ShardedRolloutEngine":
+        """Build the engine for an :class:`~repro.core.agent.Amoeba` agent.
+
+        ``seed_tree`` is the per-env pair list from
+        :func:`repro.utils.rng.collection_seed_tree`; it is cut into
+        ``n_workers`` contiguous shards so worker ``w`` hosts global
+        environment slots ``[w·shard, (w+1)·shard)``.
+        """
+        n_envs = len(seed_tree)
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if n_envs % n_workers != 0:
+            raise ValueError(
+                f"n_envs={n_envs} must be divisible by workers={n_workers} "
+                "so every shard hosts the same number of environment slots"
+            )
+        shard_size = n_envs // n_workers
+        actor, critic, encoder = agent.actor, agent.critic, agent.state_encoder
+        censor, normalizer, config = agent.censor, agent.normalizer, agent.config
+        flows = list(flows)
+        seed_tree = list(seed_tree)
+
+        def runner_factory(worker_index: int) -> ShardRunner:
+            pairs = seed_tree[worker_index * shard_size : (worker_index + 1) * shard_size]
+            return ShardRunner(
+                actor=actor,
+                critic=critic,
+                encoder=encoder,
+                censor=censor,
+                normalizer=normalizer,
+                config=config,
+                flows=flows,
+                seed_pairs=pairs,
+            )
+
+        return cls(runner_factory, n_workers, max_restarts=max_restarts)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (used by tests and benchmarks)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def processes(self) -> List[multiprocessing.Process]:
+        return [handle.process for handle in self._workers]
+
+    @property
+    def restarts_performed(self) -> int:
+        """Number of worker restarts (replay recoveries) so far."""
+        return self._restarts
+
+    # ------------------------------------------------------------------ #
+    # Commands
+    # ------------------------------------------------------------------ #
+    def broadcast(self, payload: bytes) -> None:
+        """Ship a checkpoint (``state_dict_to_bytes`` payload) to every worker."""
+        payload = bytes(payload)
+        # Retained as the authoritative replica weights: worker snapshots
+        # deliberately exclude weights, so a restart re-applies this payload
+        # after restoring the snapshot.
+        self._last_payload = payload
+        self._command(("load", payload))
+
+    def collect(self, n_ticks: int) -> MergedRollout:
+        """Advance every shard ``n_ticks`` ticks and merge the segments."""
+        results = self._command(("collect", int(n_ticks)))
+        merged = self._merge(results)
+        self._checkpoint_workers()
+        return merged
+
+    def _checkpoint_workers(self) -> None:
+        """Snapshot every worker and truncate the replay log.
+
+        The snapshots capture everything the replayed commands would have
+        rebuilt, so the log can restart from empty; recovery becomes
+        "restore latest snapshot, replay the current iteration's commands".
+        """
+        self._snapshots = self._command(("snapshot",))
+        # The snapshot round completed on every worker, so no logged command
+        # remains to replay on a future restart.
+        self._log.clear()
+
+    def close(self) -> None:
+        """Shut all workers down (best effort; crashed workers are reaped)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            try:
+                handle.conn.send(("close",))
+                handle.conn.recv()
+            except _PIPE_ERRORS:
+                pass
+        for handle in self._workers:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardedRolloutEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self, index: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=worker_main,
+            args=(child_conn, self._runner_factory, index),
+            name=f"repro-rollout-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        # The parent must drop its reference to the child end, otherwise a
+        # dead worker never produces EOF on the parent's connection.
+        child_conn.close()
+        return _WorkerHandle(index=index, process=process, conn=parent_conn)
+
+    def _respawn(self, index: int) -> _WorkerHandle:
+        old = self._workers[index]
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join(timeout=5)
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        handle = self._spawn(index)
+        self._workers[index] = handle
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Robust command execution
+    # ------------------------------------------------------------------ #
+    def _command(self, message: tuple) -> list:
+        """Send ``message`` to every worker; replay-recover crashed ones."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        self._log.append(message)
+        replies: List[Optional[tuple]] = [None] * self._n_workers
+        failed: List[int] = []
+        for handle in self._workers:
+            try:
+                handle.conn.send(message)
+            except _PIPE_ERRORS:
+                failed.append(handle.index)
+        for handle in self._workers:
+            if handle.index in failed:
+                continue
+            try:
+                replies[handle.index] = handle.conn.recv()
+            except _PIPE_ERRORS:
+                failed.append(handle.index)
+        for index in failed:
+            replies[index] = self._recover(index)
+
+        results = []
+        for index, reply in enumerate(replies):
+            assert reply is not None
+            if reply[0] == "error":
+                raise RuntimeError(f"rollout worker {index} failed:\n{reply[1]}")
+            results.append(reply[1])
+        return results
+
+    def _recover(self, index: int) -> tuple:
+        """Restart worker ``index``: restore its snapshot, replay the log.
+
+        The replacement first restores the latest post-collect snapshot (if
+        one exists), then re-executes the logged commands of the current
+        iteration (broadcasts restore the right weights for a replayed
+        collect; replayed collect results are discarded); the reply to the
+        final — in-flight — command is returned as the worker's answer.
+        """
+        last_error: Optional[BaseException] = None
+        for _ in range(self._max_restarts):
+            self._restarts += 1
+            handle = self._respawn(index)
+            try:
+                reply: Optional[tuple] = None
+                if self._snapshots is not None:
+                    handle.conn.send(("restore", self._snapshots[index]))
+                    reply = handle.conn.recv()
+                    if reply[0] == "error":
+                        return reply
+                if self._last_payload is not None:
+                    # Snapshots carry no weights; re-apply the last broadcast
+                    # checkpoint (idempotent if the log replays a newer one).
+                    handle.conn.send(("load", self._last_payload))
+                    reply = handle.conn.recv()
+                    if reply[0] == "error":
+                        return reply
+                for message in self._log:
+                    handle.conn.send(message)
+                    reply = handle.conn.recv()
+                    if reply[0] == "error":
+                        # Deterministic failure inside the worker code path:
+                        # restarting cannot help, surface it to the driver.
+                        return reply
+                assert reply is not None
+                return reply
+            except _PIPE_ERRORS as error:
+                last_error = error
+                continue
+        raise RuntimeError(
+            f"rollout worker {index} kept crashing through "
+            f"{self._max_restarts} restart attempts"
+        ) from last_error
+
+    # ------------------------------------------------------------------ #
+    # Merge
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _merge(results: Sequence[ShardResult]) -> MergedRollout:
+        offsets = np.cumsum([0] + [result.n_envs for result in results])
+        summaries: List[Tuple[int, int, EpisodeSummary]] = []
+        for offset, result in zip(offsets, results):
+            for tick, local_index, summary in result.summaries:
+                summaries.append((tick, int(offset) + local_index, summary))
+        summaries.sort(key=lambda item: (item[0], item[1]))
+        return MergedRollout(
+            states=np.concatenate([result.states for result in results], axis=1),
+            actions=np.concatenate([result.actions for result in results], axis=1),
+            log_probs=np.concatenate([result.log_probs for result in results], axis=1),
+            values=np.concatenate([result.values for result in results], axis=1),
+            rewards=np.concatenate([result.rewards for result in results], axis=1),
+            dones=np.concatenate([result.dones for result in results], axis=1),
+            final_states=np.concatenate(
+                [result.final_states for result in results], axis=0
+            ),
+            summaries=summaries,
+            query_delta=sum(result.query_delta for result in results),
+        )

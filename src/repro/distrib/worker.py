@@ -1,0 +1,69 @@
+"""Rollout worker process: command loop around a :class:`ShardRunner`.
+
+Workers are forked (POSIX ``fork`` start method) so they inherit the censor
+replica, flow pool and network architectures by copy-on-write — nothing is
+pickled at spawn time.  Afterwards the engine and worker speak a tiny framed
+protocol over a duplex pipe:
+
+=========== ======================= ==============================
+command     payload                 reply
+=========== ======================= ==============================
+``load``     checkpoint bytes        ``("ok", None)``
+``collect``  number of ticks         ``("result", ShardResult)``
+``snapshot`` —                       ``("result", runner state dict)``
+``restore``  runner state dict       ``("ok", None)``
+``close``    —                       ``("ok", None)``, then exit
+=========== ======================= ==============================
+
+Exceptions inside a command are caught and returned as ``("error",
+traceback)`` so the engine can re-raise them in the driver — a crashed
+process (pipe EOF) is the only condition treated as a restartable fault.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Callable
+
+__all__ = ["worker_main"]
+
+
+def worker_main(conn, runner_factory: Callable[[int], object], worker_index: int) -> None:
+    """Entry point of a forked rollout worker."""
+    try:
+        runner = runner_factory(worker_index)
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        try:
+            if command == "load":
+                runner.load_weights(message[1])
+                conn.send(("ok", None))
+            elif command == "collect":
+                conn.send(("result", runner.collect(message[1])))
+            elif command == "snapshot":
+                conn.send(("result", runner.snapshot()))
+            elif command == "restore":
+                runner.restore(message[1])
+                conn.send(("ok", None))
+            elif command == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", f"unknown worker command {command!r}"))
+        except Exception:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()

@@ -29,9 +29,12 @@ from .recurrent import GRU, GRUCell, LSTM, LSTMCell
 from .serialization import (
     load_module,
     load_state_dict,
+    metadata_from_bytes,
     pack_legacy_recurrent,
     save_module,
     save_state_dict,
+    state_dict_from_bytes,
+    state_dict_to_bytes,
 )
 from .tensor import (
     Tensor,
@@ -85,6 +88,9 @@ __all__ = [
     "save_module",
     "load_module",
     "save_state_dict",
+    "state_dict_to_bytes",
+    "state_dict_from_bytes",
+    "metadata_from_bytes",
     "load_state_dict",
     "pack_legacy_recurrent",
 ]

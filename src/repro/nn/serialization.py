@@ -18,6 +18,7 @@ keeps unrelated parameters that merely share a suffix untouched.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 from pathlib import Path
@@ -32,6 +33,11 @@ __all__ = [
     "load_module",
     "save_state_dict",
     "load_state_dict",
+    "state_dict_to_bytes",
+    "state_dict_from_bytes",
+    "metadata_from_bytes",
+    "load_metadata",
+    "load_prefixed_state",
     "pack_legacy_recurrent",
 ]
 
@@ -81,41 +87,95 @@ _META_KEY = "__meta__"
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: PathLike, metadata: Optional[dict] = None) -> Path:
-    """Save a state dict (mapping of parameter name to array) to ``path``."""
+    """Save a state dict (mapping of parameter name to array) to ``path``.
+
+    The on-disk archive is byte-for-byte the :func:`state_dict_to_bytes`
+    payload (mirroring numpy's ``.npz`` suffix handling), so disk and
+    broadcast checkpoints stay interchangeable by construction.
+    """
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {key: np.asarray(value) for key, value in state.items()}
-    payload[_META_KEY] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez(path, **payload)
-    # numpy appends .npz when missing; normalise the returned path.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    path.write_bytes(state_dict_to_bytes(state, metadata))
+    return path
+
+
+def _resolve_npz_path(path: PathLike) -> Path:
+    """Apply numpy's implicit ``.npz`` suffix when the bare path is absent."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
 
 
 def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
     """Load a state dict previously written by :func:`save_state_dict`.
 
     Legacy per-gate recurrent parameters are transparently folded into the
-    packed layout (see :func:`pack_legacy_recurrent`).
+    packed layout (see :func:`pack_legacy_recurrent`).  Disk archives and
+    broadcast payloads share one parser (:func:`state_dict_from_bytes`).
     """
-    path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files if key != _META_KEY}
-    return pack_legacy_recurrent(state)
+    return state_dict_from_bytes(_resolve_npz_path(path).read_bytes())
 
 
 def load_metadata(path: PathLike) -> dict:
     """Return the JSON metadata stored alongside a state dict, if any."""
-    path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
+    return metadata_from_bytes(_resolve_npz_path(path).read_bytes())
+
+
+def state_dict_to_bytes(state: Dict[str, np.ndarray], metadata: Optional[dict] = None) -> bytes:
+    """Serialize a state dict to an in-memory ``.npz`` byte string.
+
+    The payload is identical to what :func:`save_state_dict` writes to disk,
+    so the two forms are interchangeable.  Used for broadcasting checkpoints
+    to rollout workers without touching the filesystem.
+    """
+    buffer = io.BytesIO()
+    payload = {key: np.asarray(value) for key, value in state.items()}
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(buffer, **payload)
+    return buffer.getvalue()
+
+
+def state_dict_from_bytes(data: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`state_dict_to_bytes`.
+
+    Like :func:`load_state_dict`, legacy per-gate recurrent parameters are
+    transparently folded into the packed layout.
+    """
+    with np.load(io.BytesIO(data)) as archive:
+        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+    return pack_legacy_recurrent(state)
+
+
+def metadata_from_bytes(data: bytes) -> dict:
+    """Return the JSON metadata stored in a :func:`state_dict_to_bytes` payload."""
+    with np.load(io.BytesIO(data)) as archive:
         if _META_KEY not in archive.files:
             return {}
         return json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+
+
+def load_prefixed_state(state: Dict[str, np.ndarray], modules) -> None:
+    """Load a combined, name-prefixed state dict into its modules.
+
+    ``modules`` is a sequence of ``(prefix, module)`` pairs; each module
+    receives the entries whose keys start with ``"<prefix>."`` (prefix
+    stripped).  This is the single parser of the combined checkpoint layout
+    (``actor.* / critic.* / encoder.*``) shared by policy loading from disk
+    and worker-side checkpoint broadcasts.
+    """
+    for prefix, module in modules:
+        module.load_state_dict(
+            {
+                name[len(prefix) + 1 :]: value
+                for name, value in state.items()
+                if name.startswith(f"{prefix}.")
+            }
+        )
 
 
 def save_module(module: Module, path: PathLike, metadata: Optional[dict] = None) -> Path:

@@ -155,8 +155,13 @@ def train_amoeba(
     rng=None,
     eval_flows: Optional[Sequence] = None,
     eval_every: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Amoeba:
-    """Train an Amoeba agent against one censor on the ``attack_train`` split."""
+    """Train an Amoeba agent against one censor on the ``attack_train`` split.
+
+    ``workers`` shards rollout collection across that many forked worker
+    processes (see ``Amoeba.train``); ``None`` collects in-process.
+    """
     rng = ensure_rng(rng)
     if config is None:
         config = (
@@ -169,6 +174,7 @@ def train_amoeba(
         total_timesteps=total_timesteps,
         eval_flows=eval_flows,
         eval_every=eval_every,
+        workers=workers,
     )
     return agent
 

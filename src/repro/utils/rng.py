@@ -2,15 +2,51 @@
 
 Every stochastic component in the library accepts either a seed or a
 ``numpy.random.Generator`` so experiments are reproducible end to end.
+
+Seed-tree layout
+----------------
+Child generators are derived through ``numpy.random.SeedSequence`` rather
+than by drawing raw integer seeds, so a seed tree can be reproduced on the
+other side of a process boundary from a compact, picklable description
+(the ``(entropy, spawn_key)`` pair of each node).  The layout used by the
+training stack:
+
+* ``Amoeba(rng=seed)`` owns the root generator.  Construction consumes one
+  :func:`spawn_rngs` call for ``(actor, critic, ppo)`` in that order.
+* Each ``Amoeba.train`` call consumes one :func:`collection_seed_tree`
+  call: the root generator contributes a single 63-bit entropy draw, from
+  which ``n_envs`` ``SeedSequence`` children are spawned — child ``i``
+  governs environment slot ``i``.  Each child spawns two grandchildren:
+  ``(env stream, exploration-noise stream)``.  The env stream drives flow
+  order and reward-masking draws inside :class:`~repro.core.env.AdversarialFlowEnv`;
+  the noise stream drives the Gaussian exploration noise of the policy for
+  that slot.
+* The sharded rollout engine partitions the *same* per-env pairs into
+  contiguous shards of ``n_envs / workers`` slots, so worker ``w`` hosts
+  the identical streams environment slots ``w·shard … (w+1)·shard − 1``
+  would consume in a single process.  This is what makes sharded
+  collection bit-equivalent to single-process vectorized collection.
+
+``SeedSequence`` objects pickle cheaply (entropy + spawn key), which is how
+seed trees travel to worker processes; :func:`seed_sequence_state` /
+:func:`seed_sequence_from_state` offer an explicit plain-dict form for
+manifests and logs.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+    "collection_seed_tree",
+    "seed_sequence_state",
+    "seed_sequence_from_state",
+]
 
 RngLike = Union[None, int, np.random.Generator]
 
@@ -26,10 +62,46 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
-def spawn_rngs(rng: RngLike, count: int) -> list:
-    """Derive ``count`` independent child generators from ``rng``."""
+def spawn_seed_sequences(rng: RngLike, count: int) -> List[np.random.SeedSequence]:
+    """Derive ``count`` independent ``SeedSequence`` children from ``rng``.
+
+    The parent generator contributes one 63-bit entropy draw; the children
+    are ``SeedSequence(entropy).spawn(count)``, so they can be rebuilt in
+    another process from their ``(entropy, spawn_key)`` state alone.
+    """
     if count < 0:
         raise ValueError("count must be non-negative")
     parent = ensure_rng(rng)
-    seeds = parent.integers(0, 2**63 - 1, size=count)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    entropy = int(parent.integers(0, 2**63 - 1))
+    return np.random.SeedSequence(entropy).spawn(count)
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list:
+    """Derive ``count`` independent child generators from ``rng``."""
+    return [np.random.default_rng(seq) for seq in spawn_seed_sequences(rng, count)]
+
+
+def collection_seed_tree(
+    rng: RngLike, n_envs: int
+) -> List[Tuple[np.random.SeedSequence, np.random.SeedSequence]]:
+    """Per-environment ``(env stream, noise stream)`` seed pairs.
+
+    One pair per environment slot, derived as described in the module-level
+    seed-tree layout.  All rollout collection paths — sequential reference,
+    single-process vectorized, and sharded multi-process — build their
+    environment and exploration-noise generators from this tree, which is
+    what keeps their trajectories bit-identical.
+    """
+    return [tuple(child.spawn(2)) for child in spawn_seed_sequences(rng, n_envs)]
+
+
+def seed_sequence_state(seq: np.random.SeedSequence) -> Dict[str, object]:
+    """Plain-dict description of a ``SeedSequence`` (for manifests / IPC)."""
+    return {"entropy": seq.entropy, "spawn_key": list(seq.spawn_key)}
+
+
+def seed_sequence_from_state(state: Dict[str, object]) -> np.random.SeedSequence:
+    """Rebuild a ``SeedSequence`` from :func:`seed_sequence_state` output."""
+    return np.random.SeedSequence(
+        entropy=state["entropy"], spawn_key=tuple(state.get("spawn_key", ()))
+    )

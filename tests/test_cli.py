@@ -21,6 +21,11 @@ class TestParser:
         )
         assert args.censor == "RF"
         assert args.timesteps == 500
+        assert args.workers == 0  # in-process collection by default
+
+    def test_attack_workers_flag(self):
+        args = build_parser().parse_args(["attack", "--workers", "2"])
+        assert args.workers == 2
 
     def test_invalid_censor_rejected(self):
         with pytest.raises(SystemExit):
@@ -86,6 +91,8 @@ class TestCommands:
                 "150",
                 "--eval-flows",
                 "3",
+                "--workers",
+                "2",
                 "--save-policy",
                 str(policy_path),
                 "--save-adversarial",

@@ -117,3 +117,60 @@ class TestSerialization:
         nn.save_module(model, path)
         loaded = nn.load_state_dict(path)
         assert "weight" in loaded
+
+
+class TestInMemorySerialization:
+    """In-memory byte round-trips used by the checkpoint broadcast path."""
+
+    def test_bytes_roundtrip(self):
+        state = {
+            "actor.weight": np.random.default_rng(0).normal(size=(4, 3)),
+            "actor.bias": np.zeros(3),
+            "critic.weight": np.random.default_rng(1).normal(size=(4, 1)),
+        }
+        payload = nn.state_dict_to_bytes(state, metadata={"iteration": 5})
+        assert isinstance(payload, bytes)
+        restored = nn.state_dict_from_bytes(payload)
+        assert set(restored) == set(state)
+        for key, value in state.items():
+            assert np.array_equal(restored[key], value)
+
+    def test_bytes_metadata(self):
+        from repro.nn.serialization import metadata_from_bytes
+
+        payload = nn.state_dict_to_bytes({"w": np.ones(2)}, metadata={"step": 7})
+        assert metadata_from_bytes(payload) == {"step": 7}
+
+    def test_bytes_roundtrip_packs_legacy_recurrent(self):
+        """A legacy per-gate GRU payload comes back in the packed layout —
+        the same folding ``load_state_dict`` applies to on-disk archives."""
+        rng = np.random.default_rng(3)
+        legacy = {}
+        for gate in ("r", "z", "n"):
+            legacy[f"gru.cell0.w_x{gate}"] = rng.normal(size=(2, 5))
+            legacy[f"gru.cell0.w_h{gate}"] = rng.normal(size=(5, 5))
+            legacy[f"gru.cell0.b_{gate}"] = rng.normal(size=5)
+        restored = nn.state_dict_from_bytes(nn.state_dict_to_bytes(legacy))
+        assert set(restored) == {"gru.cell0.w_x", "gru.cell0.w_h", "gru.cell0.b"}
+        assert restored["gru.cell0.w_x"].shape == (2, 15)
+        assert np.array_equal(restored["gru.cell0.w_x"][:, :5], legacy["gru.cell0.w_xr"])
+        assert np.array_equal(restored["gru.cell0.b"][5:10], legacy["gru.cell0.b_z"])
+
+    def test_bytes_match_on_disk_archive(self, tmp_path):
+        """The byte payload and the on-disk .npz are interchangeable."""
+        model = nn.GRU(2, 4, num_layers=2, rng=np.random.default_rng(4))
+        payload = nn.state_dict_to_bytes(model.state_dict())
+        path = tmp_path / "model.npz"
+        nn.save_module(model, path)
+        from_disk = nn.load_state_dict(path)
+        from_bytes = nn.state_dict_from_bytes(payload)
+        assert set(from_disk) == set(from_bytes)
+        for key in from_disk:
+            assert np.array_equal(from_disk[key], from_bytes[key])
+
+    def test_module_reload_from_bytes(self):
+        model = nn.Linear(3, 2, rng=np.random.default_rng(5))
+        clone = nn.Linear(3, 2, rng=np.random.default_rng(6))
+        clone.load_state_dict(nn.state_dict_from_bytes(nn.state_dict_to_bytes(model.state_dict())))
+        x = nn.Tensor(np.random.default_rng(7).normal(size=(4, 3)))
+        assert np.array_equal(model(x).data, clone(x).data)

@@ -21,9 +21,13 @@ from repro.utils import (
     check_non_negative,
     check_positive,
     check_probability,
+    collection_seed_tree,
     ensure_rng,
     get_logger,
+    seed_sequence_from_state,
+    seed_sequence_state,
     spawn_rngs,
+    spawn_seed_sequences,
 )
 
 
@@ -51,6 +55,49 @@ class TestRng:
     def test_spawn_rngs_negative_count(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+
+    def test_spawn_rngs_reproducible_from_seed(self):
+        left = [rng.integers(0, 1_000_000) for rng in spawn_rngs(7, 3)]
+        right = [rng.integers(0, 1_000_000) for rng in spawn_rngs(7, 3)]
+        assert left == right
+
+    def test_spawn_seed_sequences_are_seed_sequence_children(self):
+        children = spawn_seed_sequences(3, 4)
+        assert len(children) == 4
+        entropies = {child.entropy for child in children}
+        assert len(entropies) == 1  # one shared root entropy draw
+        assert [child.spawn_key[-1] for child in children] == [0, 1, 2, 3]
+
+    def test_seed_sequence_state_round_trip(self):
+        (child,) = spawn_seed_sequences(11, 1)
+        rebuilt = seed_sequence_from_state(seed_sequence_state(child))
+        left = np.random.default_rng(child).integers(0, 2**31, size=5)
+        right = np.random.default_rng(rebuilt).integers(0, 2**31, size=5)
+        assert np.array_equal(left, right)
+
+    def test_collection_seed_tree_crosses_process_boundary_shape(self):
+        """The per-env (env, noise) pairs rebuild identically from their
+        plain-dict state — the property worker processes rely on."""
+        tree = collection_seed_tree(5, 3)
+        assert len(tree) == 3
+        for env_seq, noise_seq in tree:
+            env_rebuilt = seed_sequence_from_state(seed_sequence_state(env_seq))
+            assert np.array_equal(
+                np.random.default_rng(env_seq).integers(0, 2**31, size=4),
+                np.random.default_rng(env_rebuilt).integers(0, 2**31, size=4),
+            )
+            # env and noise streams of one slot are distinct
+            assert not np.array_equal(
+                np.random.default_rng(env_seq).integers(0, 2**31, size=4),
+                np.random.default_rng(noise_seq).integers(0, 2**31, size=4),
+            )
+
+    def test_collection_seed_tree_deterministic(self):
+        left = collection_seed_tree(9, 4)
+        right = collection_seed_tree(9, 4)
+        for (env_l, noise_l), (env_r, noise_r) in zip(left, right):
+            assert np.random.default_rng(env_l).random() == np.random.default_rng(env_r).random()
+            assert np.random.default_rng(noise_l).random() == np.random.default_rng(noise_r).random()
 
 
 class TestValidation:
