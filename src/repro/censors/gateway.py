@@ -90,9 +90,21 @@ class CensorGateway:
 
     # ------------------------------------------------------------------ #
     def unblock(self, socket_pair: SocketPair) -> None:
-        """Remove a socket pair from the blacklist (e.g. timeout expiry)."""
+        """Remove a socket pair from the blacklist (e.g. timeout expiry).
+
+        The destination ``(dst_ip, dst_port)`` block is derived from the
+        blacklist, so it is lifted only once no remaining blacklisted socket
+        pair still targets that destination — unblocking one expired pair
+        must not silently unblock every other flagged source behind
+        ``block_destination_port=True``.
+        """
         self._blacklist.discard(socket_pair)
-        self._blocked_destinations.discard((socket_pair.dst_ip, socket_pair.dst_port))
+        destination = (socket_pair.dst_ip, socket_pair.dst_port)
+        if destination not in self._blocked_destinations:
+            return
+        if any((pair.dst_ip, pair.dst_port) == destination for pair in self._blacklist):
+            return
+        self._blocked_destinations.discard(destination)
 
     def reset(self) -> None:
         """Clear all gateway state (blacklist and counters)."""

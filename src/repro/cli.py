@@ -84,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard rollout collection across this many worker processes "
         "(0 = in-process; n_envs must divide evenly)",
     )
+    attack.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="double-buffer sharded collection: overlap each PPO update with "
+        "the next collect (requires --workers)",
+    )
     attack.add_argument("--save-policy", default=None, help="path to save the trained policy (.npz)")
     attack.add_argument("--save-adversarial", default=None, help="path to save adversarial flows (JSONL)")
 
@@ -120,6 +126,9 @@ def _command_evaluate_censors(args: argparse.Namespace) -> int:
 
 
 def _command_attack(args: argparse.Namespace) -> int:
+    if args.pipeline and not args.workers:
+        # Fail fast on the argument error, before the dataset build.
+        raise SystemExit("--pipeline requires --workers (double-buffered sharded collection)")
     data = prepare_experiment_data(
         args.dataset, n_censored=args.flows, n_benign=args.flows, max_packets=args.max_packets, rng=args.seed
     )
@@ -134,6 +143,7 @@ def _command_attack(args: argparse.Namespace) -> int:
         total_timesteps=args.timesteps,
         rng=args.seed + 2,
         workers=args.workers or None,
+        pipeline=True if args.pipeline else None,
     )
     report = agent.evaluate(data.splits.test.censored_flows[: args.eval_flows])
     print(

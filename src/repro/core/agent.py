@@ -133,7 +133,12 @@ class Amoeba:
             # Keep the configuration honest when a custom encoder is provided.
             self.config = self.config.with_overrides(encoder_hidden=self.state_encoder.hidden_size)
 
-        actor_rng, critic_rng, ppo_rng = spawn_rngs(self._rng, 3)
+        # Evaluation owns stream 3 so `evaluate()` / mid-training eval never
+        # advances the main RNG: training outcomes are invariant to the
+        # evaluation cadence.  Spawning 4 children instead of 3 leaves the
+        # first three streams (and the parent's state) bit-identical.
+        actor_rng, critic_rng, ppo_rng, eval_rng = spawn_rngs(self._rng, 4)
+        self._eval_rng = eval_rng
         self.actor = GaussianActor(
             state_dim=self.config.state_dim,
             hidden_dims=self.config.actor_hidden,
@@ -222,6 +227,7 @@ class Amoeba:
         callback: Optional[Callable[[Dict], None]] = None,
         vectorized: bool = True,
         workers: Optional[int] = None,
+        pipeline: Optional[bool] = None,
     ) -> TrainingLogger:
         """Train the policy against the censor on the given censored flows.
 
@@ -242,6 +248,17 @@ class Amoeba:
         merge; PPO updates stay in this process.  A crashed worker is
         restarted by command-log replay without corrupting the rollout.
 
+        ``pipeline`` (default ``config.pipeline_collection``, i.e. off)
+        double-buffers sharded collection: each iteration the driver merges
+        the in-flight rollout, immediately kicks off the next collect with
+        the current — pre-update — policy, and runs the PPO update while
+        the workers are busy, hiding update time behind collection.  The
+        one-iteration policy staleness is sound for PPO (``old_log_probs``
+        are recorded at collection time, so the clipped ratio corrects for
+        it) but changes the trajectory stream, so pipelining is opt-in and
+        requires ``workers``; the synchronous default stays bit-equivalent
+        to single-process vectorized training.
+
         All collection modes build their environment and exploration-noise
         generators from the same per-slot seed tree
         (:func:`repro.utils.rng.collection_seed_tree`) and run policy /
@@ -260,6 +277,12 @@ class Amoeba:
             # single-env scoring batch shape; silently running it sharded
             # (and therefore vectorized) would defeat that purpose.
             raise ValueError("workers requires the vectorized engine (vectorized=True)")
+        pipeline = self.config.pipeline_collection if pipeline is None else bool(pipeline)
+        if pipeline and workers is None:
+            raise ValueError(
+                "pipeline=True requires workers: double-buffered collection "
+                "overlaps the PPO update with worker-side collects"
+            )
         flows = self._filter_censored(flows)
         config = self.config
         buffer = RolloutBuffer(
@@ -305,20 +328,40 @@ class Amoeba:
             states = np.stack([self.encode_state(env) for env in envs])
 
         steps_done = 0
+        iteration_steps = config.rollout_length * config.n_envs
         try:
+            if engine is not None and pipeline:
+                # Prime the pipeline: rollout 0 is collected with the
+                # initial weights while the driver falls through to wait().
+                engine.broadcast(state_dict_to_bytes(self._policy_state()))
+                engine.collect_async(config.rollout_length)
+            # Workers hold the current weights right after the prime; the
+            # pipelined loop only re-broadcasts once an update has run.
+            weights_stale = False
             while steps_done < total_timesteps:
                 buffer.reset()
                 recent_summaries: List[EpisodeSummary] = []
                 if engine is not None or runner is not None:
-                    if engine is not None:
+                    if engine is None:
+                        result = runner.collect(config.rollout_length)
+                    elif pipeline:
+                        result = engine.wait()
+                        self.censor.record_external_queries(result.query_delta)
+                        if steps_done + iteration_steps < total_timesteps:
+                            # Double-buffering: the next collect starts now
+                            # with the current (pre-update) policy and runs
+                            # while updater.update() below is busy.
+                            if weights_stale:
+                                engine.broadcast(state_dict_to_bytes(self._policy_state()))
+                                weights_stale = False
+                            engine.collect_async(config.rollout_length)
+                    else:
                         engine.broadcast(state_dict_to_bytes(self._policy_state()))
                         result = engine.collect(config.rollout_length)
                         # Worker censor replicas counted these queries; fold
                         # them into this process's censor (the inline runner
                         # queries self.censor directly, so nothing to fold).
                         self.censor.record_external_queries(result.query_delta)
-                    else:
-                        result = runner.collect(config.rollout_length)
                     buffer.load(
                         result.states,
                         result.actions,
@@ -330,20 +373,25 @@ class Amoeba:
                     for _tick, _env_index, summary in result.summaries:
                         recent_summaries.append(summary)
                         self._episode_successes.append(summary.success)
-                    steps_done += config.rollout_length * config.n_envs
-                    final_states = result.final_states
+                    steps_done += iteration_steps
+                    # Bootstrap values computed shard-side with the
+                    # collection-time critic — identical to a driver-side
+                    # forward in synchronous modes, and the consistent
+                    # choice under pipelining (the driver's critic may be
+                    # one update ahead of this rollout's values).
+                    last_values = result.final_values
                 else:
                     while not buffer.full:
                         states = self._collect_tick_sequential(
                             envs, buffer, states, recent_summaries, noise_rngs
                         )
                         steps_done += config.n_envs
-                    final_states = states
+                    last_values = self.critic.value_batch(states)
 
-                last_values = self.critic.value_batch(final_states)
                 buffer.finalize(last_values, config.gamma, config.gae_lambda)
                 stats = self.updater.update(buffer)
-                self._timesteps_trained += config.rollout_length * config.n_envs
+                weights_stale = True
+                self._timesteps_trained += iteration_steps
 
                 window = self._episode_successes[-50:]
                 train_asr = float(np.mean(window)) if window else 0.0
@@ -391,8 +439,12 @@ class Amoeba:
         eval_config = self.config.with_overrides(
             reward_mask_rate=1.0, max_episode_steps=step_budget
         )
+        # Evaluation draws (flow order, masking) come from the dedicated
+        # eval stream — never from self._rng, which seeds training: a
+        # mid-training evaluation must not shift the collection seed tree
+        # of subsequent iterations.
         return AdversarialFlowEnv(
-            self.censor, self.normalizer, eval_config, [flow], rng=self._rng
+            self.censor, self.normalizer, eval_config, [flow], rng=self._eval_rng
         )
 
     def _attack_batch(

@@ -128,8 +128,13 @@ def run_arms_race(
         agent.train(attack_train_flows, total_timesteps=amoeba_timesteps, workers=workers)
         report = agent.evaluate(eval_flows)
 
-        # 3. Censor harvests a sample of this round's adversarial flows.
-        harvested = [result.adversarial_flow for result in report.results[:harvest_per_round]]
+        # 3. Censor harvests a uniform sample of this round's adversarial
+        # flows.  Sampling with the round RNG keeps the harvest unbiased
+        # (a head slice would always favour the first eval flows) and
+        # seed-controlled.
+        n_harvest = min(harvest_per_round, len(report.results))
+        chosen = round_rng.choice(len(report.results), size=n_harvest, replace=False)
+        harvested = [report.results[int(index)].adversarial_flow for index in np.sort(chosen)]
         collected.extend(harvested)
 
         rounds.append(

@@ -158,8 +158,17 @@ class RolloutBuffer:
         )
 
     def minibatches(self, n_minibatches: int, rng=None, normalise_advantages: bool = True) -> Iterator[_Batch]:
-        """Yield shuffled minibatches over the flattened (T*N) samples."""
+        """Yield shuffled minibatches over the flattened (T*N) samples.
+
+        The ``T·N`` samples are partitioned into exactly ``n_minibatches``
+        near-equal batches (sizes differ by at most one), so per-update
+        statistics are never skewed by a runt batch when ``n_minibatches``
+        does not divide ``T·N``.  When there are fewer samples than
+        requested batches, each sample forms its own batch.
+        """
         rng = ensure_rng(rng)
+        if n_minibatches < 1:
+            raise ValueError("n_minibatches must be >= 1")
         total = self.rollout_length * self.n_envs
         states = self.states.reshape(total, self.state_dim)
         actions = self.actions.reshape(total, self.action_dim)
@@ -171,9 +180,7 @@ class RolloutBuffer:
             advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
 
         order = rng.permutation(total)
-        batch_size = max(1, total // n_minibatches)
-        for start in range(0, total, batch_size):
-            index = order[start : start + batch_size]
+        for index in np.array_split(order, min(n_minibatches, total)):
             yield _Batch(
                 states=states[index],
                 actions=actions[index],

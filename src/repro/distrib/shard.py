@@ -47,6 +47,7 @@ class ShardResult:
     rewards: np.ndarray
     dones: np.ndarray
     final_states: np.ndarray
+    final_values: np.ndarray
     summaries: List[Tuple[int, int, EpisodeSummary]]
     query_delta: int
 
@@ -203,6 +204,12 @@ class ShardRunner:
             recorded_actions = np.stack([info["recorded_action"] for info in infos])
             self._states = self._tracker.step(recorded_actions, observations, tick_dones)
 
+        # Bootstrap values for GAE, computed with the *collection-time*
+        # critic: under pipelined (double-buffered) collection the driver's
+        # critic may already be one update ahead by the time this segment is
+        # merged, and the rollout's per-step values came from these weights.
+        final_values = self.critic.value_batch(self._states)
+
         return ShardResult(
             states=states,
             actions=actions,
@@ -211,6 +218,7 @@ class ShardRunner:
             rewards=rewards,
             dones=dones,
             final_states=self._states.copy(),
+            final_values=np.asarray(final_values, dtype=np.float64),
             summaries=summaries,
             query_delta=self.censor.query_count - queries_before,
         )

@@ -14,6 +14,24 @@ seed streams), and drives them with two commands per PPO iteration:
    environment axis, in worker order, into one ``(T, W·n_shard, ...)``
    rollout.
 
+Pipelined (double-buffered) collection
+--------------------------------------
+``collect`` is synchronous: the driver blocks until every shard has
+answered.  The asynchronous pair :meth:`ShardedRolloutEngine.collect_async`
+/ :meth:`ShardedRolloutEngine.wait` splits that round-trip so the driver
+can overlap its PPO update with the next collect::
+
+    engine.broadcast(checkpoint_k)      # pre-update policy
+    engine.collect_async(T)             # workers start rollout k+1
+    stats = updater.update(rollout_k)   # driver busy while workers collect
+    rollout_k1 = engine.wait()          # merge when both sides are done
+
+The rollout handed back by ``wait`` was collected with a one-iteration-stale
+policy; that is sound for PPO because ``old_log_probs`` are recorded at
+collection time, so the clipped importance ratio already corrects for the
+staleness.  Only one collect may be in flight at a time, and no other
+command may be issued until ``wait`` has drained it.
+
 Determinism contract
 --------------------
 Because every environment slot owns its seed streams (see the seed-tree
@@ -30,7 +48,9 @@ engine keeps a command log — broadcast payloads and collect lengths, in
 order — and restarts a crashed worker (pipe EOF / broken pipe) by forking
 a fresh process and replaying the log, which fast-forwards the replacement
 to the exact state of the lost worker before re-answering the in-flight
-command.  Replayed collect results (and their censor-query deltas) are
+command.  This covers the asynchronous path too: a worker SIGKILLed while
+its collect is in flight is recovered inside :meth:`wait`, which replays
+the logged broadcast + collect of the current iteration before merging.  Replayed collect results (and their censor-query deltas) are
 discarded, so the merged rollout and query accounting are unaffected by
 restarts.  After every successful collect the engine snapshots each
 worker's mutable collection state (environment episodes, seed streams,
@@ -75,6 +95,7 @@ class MergedRollout:
     rewards: np.ndarray
     dones: np.ndarray
     final_states: np.ndarray
+    final_values: np.ndarray
     summaries: List[Tuple[int, int, EpisodeSummary]]
     query_delta: int
 
@@ -123,6 +144,12 @@ class ShardedRolloutEngine:
         self._log: List[tuple] = []
         self._snapshots: Optional[list] = None
         self._last_payload: Optional[bytes] = None
+        # In-flight async collect: the indices whose send already failed
+        # (recovered at wait() time), or None when no collect is pending.
+        self._pending: Optional[List[int]] = None
+        # Set when a drain died mid-way (worker error, interrupt): replies
+        # are partially consumed, so the engine can only be close()d.
+        self._broken = False
         self._restarts = 0
         self._closed = False
         self._workers: List[_WorkerHandle] = [
@@ -199,15 +226,71 @@ class ShardedRolloutEngine:
     def broadcast(self, payload: bytes) -> None:
         """Ship a checkpoint (``state_dict_to_bytes`` payload) to every worker."""
         payload = bytes(payload)
+        self._command(("load", payload))
         # Retained as the authoritative replica weights: worker snapshots
         # deliberately exclude weights, so a restart re-applies this payload
-        # after restoring the snapshot.
+        # after restoring the snapshot.  Recorded only once the command was
+        # accepted — a rejected broadcast (engine closed / collect in
+        # flight) must not become the recovery checkpoint.
         self._last_payload = payload
-        self._command(("load", payload))
 
     def collect(self, n_ticks: int) -> MergedRollout:
         """Advance every shard ``n_ticks`` ticks and merge the segments."""
-        results = self._command(("collect", int(n_ticks)))
+        self.collect_async(n_ticks)
+        return self.wait()
+
+    def collect_async(self, n_ticks: int) -> None:
+        """Kick off a collect on every shard without waiting for the results.
+
+        The driver is free to do other work (the PPO update of the previous
+        rollout) until :meth:`wait`; until then no other engine command may
+        be issued.  A worker whose pipe is already broken is noted and
+        recovered inside :meth:`wait` by snapshot-restore + log replay, the
+        same machinery that handles workers dying mid-collect.
+        """
+        self._check_usable()
+        if self._pending is not None:
+            raise RuntimeError(
+                "a collect is already in flight; call wait() before starting another"
+            )
+        if n_ticks < 1:
+            raise ValueError("n_ticks must be >= 1")
+        message = ("collect", int(n_ticks))
+        self._log.append(message)
+        failed: List[int] = []
+        for handle in self._workers:
+            try:
+                handle.conn.send(message)
+            except _PIPE_ERRORS:
+                failed.append(handle.index)
+        self._pending = failed
+
+    def wait(self) -> MergedRollout:
+        """Drain the in-flight :meth:`collect_async` and merge the segments.
+
+        Workers that crashed after the kick-off (SIGKILL mid-collect) are
+        restarted here: the replacement restores the latest post-collect
+        snapshot, re-applies the last broadcast checkpoint and replays the
+        current iteration's logged commands — including the in-flight
+        collect, whose recomputed result stands in for the lost one — so
+        the merged rollout and the censor query accounting are identical to
+        an undisturbed round.
+        """
+        self._check_usable()
+        if self._pending is None:
+            raise RuntimeError("no collect in flight; call collect_async() first")
+        # _pending stays set until the drain succeeds: if it is interrupted
+        # (KeyboardInterrupt, worker error) the workers may still be
+        # mid-collect, and close() must keep taking the non-blocking
+        # terminate path instead of the polite handshake.  The broken flag
+        # makes a retried wait() fail fast instead of recv()ing replies
+        # that were already consumed.
+        try:
+            results = self._drain(self._pending)
+        except BaseException:
+            self._broken = True
+            raise
+        self._pending = None
         merged = self._merge(results)
         self._checkpoint_workers()
         return merged
@@ -229,13 +312,24 @@ class ShardedRolloutEngine:
         if self._closed:
             return
         self._closed = True
+        pending = self._pending
+        self._pending = None
+        if pending is None:
+            # Polite handshake — only when no collect is in flight; a busy
+            # worker would not answer until its whole rollout finished, so
+            # an error-path close() during an async collect must not block
+            # on recv and instead falls through to terminate() below.
+            for handle in self._workers:
+                try:
+                    handle.conn.send(("close",))
+                    handle.conn.recv()
+                except _PIPE_ERRORS:
+                    pass
         for handle in self._workers:
-            try:
-                handle.conn.send(("close",))
-                handle.conn.recv()
-            except _PIPE_ERRORS:
-                pass
-        for handle in self._workers:
+            if pending is not None and handle.process.is_alive():
+                # A mid-collect worker never exits on its own (it would
+                # block sending the result); don't wait out the join below.
+                handle.process.terminate()
             handle.process.join(timeout=5)
             if handle.process.is_alive():
                 handle.process.terminate()
@@ -290,18 +384,34 @@ class ShardedRolloutEngine:
     # ------------------------------------------------------------------ #
     # Robust command execution
     # ------------------------------------------------------------------ #
-    def _command(self, message: tuple) -> list:
-        """Send ``message`` to every worker; replay-recover crashed ones."""
+    def _check_usable(self) -> None:
         if self._closed:
             raise RuntimeError("engine is closed")
+        if self._broken:
+            raise RuntimeError(
+                "engine is broken (a collect round failed mid-drain); close() it"
+            )
+
+    def _command(self, message: tuple) -> list:
+        """Send ``message`` to every worker; replay-recover crashed ones."""
+        self._check_usable()
+        if self._pending is not None:
+            raise RuntimeError(
+                "a collect is in flight; call wait() before issuing new commands"
+            )
         self._log.append(message)
-        replies: List[Optional[tuple]] = [None] * self._n_workers
         failed: List[int] = []
         for handle in self._workers:
             try:
                 handle.conn.send(message)
             except _PIPE_ERRORS:
                 failed.append(handle.index)
+        return self._drain(failed)
+
+    def _drain(self, failed: List[int]) -> list:
+        """Collect one reply per worker, replay-recovering the ``failed``
+        indices plus any worker whose pipe breaks while we wait."""
+        replies: List[Optional[tuple]] = [None] * self._n_workers
         for handle in self._workers:
             if handle.index in failed:
                 continue
@@ -384,6 +494,9 @@ class ShardedRolloutEngine:
             dones=np.concatenate([result.dones for result in results], axis=1),
             final_states=np.concatenate(
                 [result.final_states for result in results], axis=0
+            ),
+            final_values=np.concatenate(
+                [result.final_values for result in results], axis=0
             ),
             summaries=summaries,
             query_delta=sum(result.query_delta for result in results),

@@ -156,11 +156,14 @@ def train_amoeba(
     eval_flows: Optional[Sequence] = None,
     eval_every: Optional[int] = None,
     workers: Optional[int] = None,
+    pipeline: Optional[bool] = None,
 ) -> Amoeba:
     """Train an Amoeba agent against one censor on the ``attack_train`` split.
 
     ``workers`` shards rollout collection across that many forked worker
     processes (see ``Amoeba.train``); ``None`` collects in-process.
+    ``pipeline`` double-buffers sharded collection (PPO updates overlap the
+    next collect); ``None`` defers to ``config.pipeline_collection``.
     """
     rng = ensure_rng(rng)
     if config is None:
@@ -175,6 +178,7 @@ def train_amoeba(
         eval_flows=eval_flows,
         eval_every=eval_every,
         workers=workers,
+        pipeline=pipeline,
     )
     return agent
 

@@ -26,6 +26,11 @@ class TestParser:
     def test_attack_workers_flag(self):
         args = build_parser().parse_args(["attack", "--workers", "2"])
         assert args.workers == 2
+        assert not args.pipeline  # double-buffering is opt-in
+
+    def test_attack_pipeline_flag(self):
+        args = build_parser().parse_args(["attack", "--workers", "2", "--pipeline"])
+        assert args.pipeline
 
     def test_invalid_censor_rejected(self):
         with pytest.raises(SystemExit):
@@ -103,3 +108,44 @@ class TestCommands:
         assert adversarial_path.exists()
         out = capsys.readouterr().out
         assert "asr" in out
+
+    def test_attack_pipeline_requires_workers(self):
+        with pytest.raises(SystemExit, match="--pipeline requires --workers"):
+            main(
+                [
+                    "attack",
+                    "--dataset",
+                    "tor",
+                    "--flows",
+                    "30",
+                    "--max-packets",
+                    "16",
+                    "--timesteps",
+                    "150",
+                    "--pipeline",
+                ]
+            )
+
+    def test_attack_command_pipelined(self, capsys):
+        code = main(
+            [
+                "attack",
+                "--dataset",
+                "tor",
+                "--flows",
+                "30",
+                "--max-packets",
+                "16",
+                "--censor",
+                "DT",
+                "--timesteps",
+                "300",
+                "--eval-flows",
+                "3",
+                "--workers",
+                "2",
+                "--pipeline",
+            ]
+        )
+        assert code == 0
+        assert "asr" in capsys.readouterr().out

@@ -134,6 +134,33 @@ class TestRolloutBuffer:
         total = sum(len(batch.states) for batch in buffer.minibatches(2, rng=0))
         assert total == 4 * 2
 
+    def test_minibatches_partition_into_exactly_n_near_equal_batches(self):
+        # 5 ticks x 2 envs = 10 samples over 3 minibatches: near-equal
+        # (4, 3, 3), never a runt tail like (3, 3, 3, 1).
+        buffer = self.make_full_buffer(length=5)
+        sizes = [len(batch.states) for batch in buffer.minibatches(3, rng=0)]
+        assert len(sizes) == 3
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_minibatches_never_yield_empty_batches(self):
+        # 2 samples over 4 requested minibatches: one sample per batch.
+        buffer = self.make_full_buffer(length=1)
+        sizes = [len(batch.states) for batch in buffer.minibatches(4, rng=0)]
+        assert sizes == [1, 1]
+
+    def test_minibatches_are_disjoint_and_exhaustive(self):
+        buffer = self.make_full_buffer(length=5)
+        batches = list(buffer.minibatches(3, rng=1))
+        seen = np.concatenate([batch.returns for batch in batches])
+        assert seen.shape == (10,)
+        assert np.allclose(np.sort(seen), np.sort(buffer.returns.reshape(-1)))
+
+    def test_minibatches_reject_nonpositive_count(self):
+        buffer = self.make_full_buffer()
+        with pytest.raises(ValueError):
+            list(buffer.minibatches(0, rng=0))
+
     def test_minibatch_advantage_normalisation(self):
         buffer = self.make_full_buffer()
         advantages = np.concatenate([b.advantages for b in buffer.minibatches(1, rng=0)])

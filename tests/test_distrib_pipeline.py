@@ -1,0 +1,324 @@
+"""Pipelined (double-buffered) rollout collection + eval-RNG isolation.
+
+The contract under test: ``collect_async`` / ``wait`` reproduce the
+synchronous engine exactly when nothing runs in between (same commands in
+the same order), survive a SIGKILL landing mid-async-collect via
+snapshot-restore + log replay, and ``Amoeba.train(pipeline=True)`` performs
+the classic async-PPO schedule — iteration 0 identical to the synchronous
+path, iteration 1+ collected with the one-iteration-stale policy.
+
+Also here: evaluation owns its own RNG stream, so neither mid-training
+``eval_every`` evaluation nor standalone ``evaluate()`` calls shift the
+collection seed trees of later training.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Amoeba, AmoebaConfig
+from repro.distrib import ShardedRolloutEngine, ShardRunner
+from repro.nn.serialization import state_dict_to_bytes
+from repro.utils.rng import collection_seed_tree
+
+N_ENVS = 4
+N_WORKERS = 2
+ROLLOUT_LENGTH = 8
+
+ARRAY_FIELDS = ("states", "actions", "log_probs", "values", "rewards", "dones")
+
+TRAIN_RECORD_KEYS = ("timesteps", "train_asr", "mean_reward", "policy_loss", "value_loss", "entropy")
+
+
+@pytest.fixture(scope="module")
+def pipeline_setup(trained_dt_censor, normalizer, tor_splits):
+    config = AmoebaConfig.for_tor(
+        n_envs=N_ENVS,
+        rollout_length=ROLLOUT_LENGTH,
+        max_episode_steps=20,
+        encoder_hidden=8,
+        actor_hidden=(16,),
+        critic_hidden=(16,),
+        reward_mask_rate=0.3,
+    )
+    return dict(
+        censor=trained_dt_censor,
+        normalizer=normalizer,
+        config=config,
+        flows=tor_splits.attack_train.censored_flows,
+    )
+
+
+def fresh_agent(setup, rng=42, **config_overrides) -> Amoeba:
+    config = setup["config"]
+    if config_overrides:
+        config = config.with_overrides(**config_overrides)
+    return Amoeba(
+        setup["censor"],
+        setup["normalizer"],
+        config,
+        rng=rng,
+        encoder_pretrain_kwargs=dict(n_flows=20, max_length=10, epochs=1),
+    )
+
+
+def reference_segments(setup, n_collects):
+    """Inline single-process ShardRunner segments (the ground truth)."""
+    agent = fresh_agent(setup)
+    tree = collection_seed_tree(agent._rng, N_ENVS)
+    runner = ShardRunner(
+        agent.actor,
+        agent.critic,
+        agent.state_encoder,
+        setup["censor"],
+        setup["normalizer"],
+        setup["config"],
+        setup["flows"],
+        tree,
+    )
+    return [runner.collect(ROLLOUT_LENGTH) for _ in range(n_collects)]
+
+
+def assert_rollouts_equal(actual, expected):
+    for name in ARRAY_FIELDS:
+        assert np.array_equal(getattr(actual, name), getattr(expected, name)), name
+    assert np.array_equal(actual.final_states, expected.final_states)
+    assert np.array_equal(actual.final_values, expected.final_values)
+    assert actual.query_delta == expected.query_delta
+
+
+class TestAsyncCollect:
+    def test_collect_async_wait_matches_inline_reference(self, pipeline_setup):
+        expected = reference_segments(pipeline_setup, 2)
+        agent = fresh_agent(pipeline_setup)
+        tree = collection_seed_tree(agent._rng, N_ENVS)
+        engine = ShardedRolloutEngine.for_agent(
+            agent, pipeline_setup["flows"], tree, N_WORKERS
+        )
+        try:
+            engine.broadcast(state_dict_to_bytes(agent._policy_state()))
+            merged = []
+            for _ in range(2):
+                engine.collect_async(ROLLOUT_LENGTH)
+                merged.append(engine.wait())
+        finally:
+            engine.close()
+        for actual, reference in zip(merged, expected):
+            assert_rollouts_equal(actual, reference)
+
+    def test_sigkill_during_async_collect_is_recovered(self, pipeline_setup):
+        """A worker killed while its collect is in flight is rebuilt inside
+        wait() by snapshot-restore + log replay: the merged rollout and the
+        query accounting are identical to an undisturbed round."""
+        expected = reference_segments(pipeline_setup, 2)
+        agent = fresh_agent(pipeline_setup)
+        tree = collection_seed_tree(agent._rng, N_ENVS)
+        engine = ShardedRolloutEngine.for_agent(
+            agent, pipeline_setup["flows"], tree, N_WORKERS
+        )
+        try:
+            engine.broadcast(state_dict_to_bytes(agent._policy_state()))
+            first = engine.collect(ROLLOUT_LENGTH)
+            engine.collect_async(ROLLOUT_LENGTH)
+            os.kill(engine.processes[0].pid, signal.SIGKILL)
+            time.sleep(0.2)
+            second = engine.wait()
+            restarts = engine.restarts_performed
+        finally:
+            engine.close()
+        assert restarts >= 1
+        assert_rollouts_equal(first, expected[0])
+        assert_rollouts_equal(second, expected[1])
+
+    def test_inflight_state_machine_guards(self, pipeline_setup):
+        agent = fresh_agent(pipeline_setup)
+        tree = collection_seed_tree(agent._rng, N_ENVS)
+        engine = ShardedRolloutEngine.for_agent(
+            agent, pipeline_setup["flows"], tree, N_WORKERS
+        )
+        payload = state_dict_to_bytes(agent._policy_state())
+        try:
+            with pytest.raises(RuntimeError, match="no collect in flight"):
+                engine.wait()
+            engine.broadcast(payload)
+            engine.collect_async(2)
+            with pytest.raises(RuntimeError, match="already in flight"):
+                engine.collect_async(2)
+            with pytest.raises(RuntimeError, match="in flight"):
+                engine.broadcast(payload)
+            engine.wait()
+            # Drained: the engine accepts commands again.
+            engine.broadcast(payload)
+            engine.collect(2)
+            with pytest.raises(ValueError):
+                engine.collect_async(0)
+        finally:
+            engine.close()
+
+    def test_failed_drain_marks_engine_broken(self):
+        """A deterministic worker error during an async collect surfaces in
+        wait(); afterwards the engine fails fast instead of blocking on
+        replies that were already consumed."""
+
+        def factory(index):
+            class Broken:
+                def load_weights(self, payload):
+                    pass
+
+                def collect(self, n_ticks):
+                    raise RuntimeError("deterministic collect bug")
+
+            return Broken()
+
+        engine = ShardedRolloutEngine(factory, 1)
+        try:
+            engine.broadcast(b"ignored")
+            engine.collect_async(2)
+            with pytest.raises(RuntimeError, match="deterministic collect bug"):
+                engine.wait()
+            with pytest.raises(RuntimeError, match="broken"):
+                engine.wait()
+            with pytest.raises(RuntimeError, match="broken"):
+                engine.collect_async(2)
+            with pytest.raises(RuntimeError, match="broken"):
+                engine.broadcast(b"ignored")
+        finally:
+            engine.close()
+
+
+class TestPipelinedTraining:
+    def _run(self, setup, pipeline):
+        censor = setup["censor"]
+        censor.reset_query_count()
+        agent = fresh_agent(setup)
+        records = []
+        agent.train(
+            setup["flows"],
+            total_timesteps=2 * ROLLOUT_LENGTH * N_ENVS,
+            workers=N_WORKERS,
+            pipeline=pipeline,
+            callback=records.append,
+        )
+        params = [p.data.copy() for p in agent.actor.parameters()]
+        params += [p.data.copy() for p in agent.critic.parameters()]
+        return records, params
+
+    def test_pipelined_schedule_vs_sync(self, pipeline_setup):
+        """Iteration 0 collects with the initial weights in both modes, so
+        its records are bit-identical; iteration 1 collects with the stale
+        (pre-update) policy under pipelining, so its trajectory differs."""
+        sync_records, sync_params = self._run(pipeline_setup, pipeline=False)
+        pipe_records, pipe_params = self._run(pipeline_setup, pipeline=True)
+
+        assert len(sync_records) == len(pipe_records) == 2
+        first_sync = {key: sync_records[0][key] for key in TRAIN_RECORD_KEYS}
+        first_pipe = {key: pipe_records[0][key] for key in TRAIN_RECORD_KEYS}
+        assert first_sync == first_pipe
+        # The second rollout was collected one iteration stale: the schedule
+        # would be broken (silently synchronous) if it still matched.
+        assert pipe_records[1]["mean_reward"] != sync_records[1]["mean_reward"]
+        for record in pipe_records:
+            for key in TRAIN_RECORD_KEYS:
+                assert np.isfinite(record[key])
+        assert any(
+            not np.array_equal(sync, pipe)
+            for sync, pipe in zip(sync_params, pipe_params)
+        )
+
+    def test_pipeline_requires_workers(self, pipeline_setup):
+        agent = fresh_agent(pipeline_setup)
+        with pytest.raises(ValueError, match="pipeline=True requires workers"):
+            agent.train(pipeline_setup["flows"], total_timesteps=8, pipeline=True)
+
+    def test_config_flag_routes_to_pipelined_path(self, pipeline_setup, monkeypatch):
+        """AmoebaConfig.pipeline_collection=True switches the sharded loop to
+        the async schedule (the synchronous collect() is never used), and an
+        explicit pipeline=False wins over the config."""
+        sync_collects = []
+        original = ShardedRolloutEngine.collect
+
+        def spy(self, n_ticks):
+            sync_collects.append(n_ticks)
+            return original(self, n_ticks)
+
+        monkeypatch.setattr(ShardedRolloutEngine, "collect", spy)
+
+        agent = fresh_agent(pipeline_setup, pipeline_collection=True)
+        agent.train(
+            pipeline_setup["flows"],
+            total_timesteps=ROLLOUT_LENGTH * N_ENVS,
+            workers=N_WORKERS,
+        )
+        assert sync_collects == []
+        assert len(agent.training_log.series("mean_reward")) == 1
+
+        agent = fresh_agent(pipeline_setup, pipeline_collection=True)
+        agent.train(
+            pipeline_setup["flows"],
+            total_timesteps=ROLLOUT_LENGTH * N_ENVS,
+            workers=N_WORKERS,
+            pipeline=False,
+        )
+        assert sync_collects == [ROLLOUT_LENGTH]
+
+
+class TestEvalRngIsolation:
+    """Evaluation must never advance the training RNG (`self._rng`)."""
+
+    def _train_records(self, record):
+        return {key: record[key] for key in TRAIN_RECORD_KEYS}
+
+    def _run(self, setup, eval_every, rounds=2):
+        agent = fresh_agent(setup, rng=7)
+        eval_kwargs = {}
+        if eval_every is not None:
+            eval_kwargs = dict(
+                eval_flows=setup["flows"][:2],
+                eval_every=eval_every,
+                eval_size=2,
+            )
+        records = []
+        for _ in range(rounds):
+            agent.train(
+                setup["flows"],
+                total_timesteps=ROLLOUT_LENGTH * N_ENVS,
+                callback=records.append,
+                **eval_kwargs,
+            )
+        params = [p.data.copy() for p in agent.actor.parameters()]
+        return [self._train_records(record) for record in records], params
+
+    def test_training_invariant_to_eval_cadence(self, pipeline_setup):
+        """Two consecutive train() calls: the second one's seed tree (drawn
+        from self._rng) must be identical whether or not the first call ran
+        mid-training evaluations."""
+        no_eval_records, no_eval_params = self._run(pipeline_setup, eval_every=None)
+        eval_records, eval_params = self._run(pipeline_setup, eval_every=1)
+        assert eval_records == no_eval_records
+        for expected, actual in zip(no_eval_params, eval_params):
+            assert np.array_equal(expected, actual)
+
+    def test_standalone_evaluate_does_not_shift_later_training(self, pipeline_setup):
+        plain_records, plain_params = self._run(pipeline_setup, eval_every=None)
+
+        agent = fresh_agent(pipeline_setup, rng=7)
+        records = []
+        agent.train(
+            pipeline_setup["flows"],
+            total_timesteps=ROLLOUT_LENGTH * N_ENVS,
+            callback=records.append,
+        )
+        agent.evaluate(pipeline_setup["flows"][:3])
+        agent.train(
+            pipeline_setup["flows"],
+            total_timesteps=ROLLOUT_LENGTH * N_ENVS,
+            callback=records.append,
+        )
+        assert [self._train_records(record) for record in records] == plain_records
+        for expected, actual in zip(
+            plain_params, [p.data.copy() for p in agent.actor.parameters()]
+        ):
+            assert np.array_equal(expected, actual)
