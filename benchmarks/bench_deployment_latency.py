@@ -35,7 +35,7 @@ def test_deployment_full_step_latency(benchmark, tor_suite):
     env.reset()
 
     def per_packet_step():
-        if env._done:
+        if env.done:
             env.reset()
         state = agent.encode_state(env)
         action, _ = agent.actor.act(state, deterministic=True)

@@ -45,7 +45,7 @@ def test_fig11_interpacket_delays(benchmark, tor_suite):
     env.reset()
 
     def pipeline_step():
-        if env._done:
+        if env.done:
             env.reset()
         env.step(agent.actor.act(agent.encode_state(env), deterministic=True)[0])
 

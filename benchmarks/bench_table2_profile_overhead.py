@@ -40,6 +40,7 @@ def test_table2_profile_overhead(benchmark, tor_suite):
                 "data_overhead": summary["data_overhead"],
                 "time_overhead": summary["time_overhead"],
                 "profiles_per_flow": summary["mean_profiles_per_flow"],
+                "fully_embedded": summary["fully_embedded_rate"],
                 "online_data_overhead": report.data_overhead,
                 "online_time_overhead": report.time_overhead,
             }
@@ -55,6 +56,7 @@ def test_table2_profile_overhead(benchmark, tor_suite):
                 "data_overhead",
                 "time_overhead",
                 "profiles_per_flow",
+                "fully_embedded",
                 "online_data_overhead",
                 "online_time_overhead",
             ],

@@ -68,7 +68,8 @@ def main() -> None:
     print(
         f"offline mode: DO={format_percent(summary['data_overhead'])}  "
         f"TO={format_percent(summary['time_overhead'])}  "
-        f"profiles per flow={summary['mean_profiles_per_flow']:.2f}"
+        f"profiles per flow={summary['mean_profiles_per_flow']:.2f}  "
+        f"fully embedded={format_percent(summary['fully_embedded_rate'])}"
     )
     print(
         "\nAs in the paper, the offline mode trades extra data/time overhead "

@@ -21,13 +21,16 @@ Subpackages
 ``repro.distrib``
     Distributed tier: sharded multi-process rollout collection with
     checkpoint broadcast, and the fault-tolerant sweep orchestrator.
+``repro.serve``
+    Serving tier: online policy serving with continuous batching, session
+    management, deadline-driven profile fallback and a load generator.
 ``repro.attacks``
     White-box baselines (CW, NIDSGAN, BAP).
 ``repro.eval``
     Evaluation metrics, transferability, convergence curves and reporting.
 """
 
-from . import attacks, censors, core, distrib, eval, features, flows, ml, nn, pipeline, utils
+from . import attacks, censors, core, distrib, eval, features, flows, ml, nn, pipeline, serve, utils
 from .core import AdversarialResult, Amoeba, AmoebaConfig, EvaluationReport
 from .flows import Flow, FlowDataset, FlowLabel, build_tor_dataset, build_v2ray_dataset
 
@@ -43,6 +46,7 @@ __all__ = [
     "attacks",
     "eval",
     "pipeline",
+    "serve",
     "utils",
     "Amoeba",
     "AmoebaConfig",

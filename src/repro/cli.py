@@ -10,6 +10,10 @@ without writing Python:
 * ``repro-amoeba attack`` — train Amoeba against one censor and report
   ASR / data overhead / time overhead (optionally saving the policy and the
   adversarial flows);
+* ``repro-amoeba serve`` — load a saved policy and serve it to a synthetic
+  live-traffic workload through the continuous-batching serving tier,
+  reporting decisions/s, decision-latency percentiles and the
+  profile-fallback rate;
 * ``repro-amoeba info`` — print the library version and experiment index.
 
 Examples
@@ -18,7 +22,8 @@ Examples
 
     repro-amoeba generate --dataset tor --flows 200 --output tor.jsonl
     repro-amoeba evaluate-censors --dataset tor --censors DT RF DF
-    repro-amoeba attack --dataset tor --censor DF --timesteps 5000
+    repro-amoeba attack --dataset tor --censor DF --timesteps 5000 --save-policy policy.npz
+    repro-amoeba serve --policy policy.npz --sessions 64 --max-batch 16
 """
 
 from __future__ import annotations
@@ -92,6 +97,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--save-policy", default=None, help="path to save the trained policy (.npz)")
     attack.add_argument("--save-adversarial", default=None, help="path to save adversarial flows (JSONL)")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a saved policy to a synthetic live workload"
+    )
+    serve.add_argument("--policy", required=True, help="policy checkpoint (.npz) from attack --save-policy")
+    serve.add_argument("--dataset", choices=("tor", "v2ray"), default="tor",
+                       help="sets the size scale and the default traffic mix")
+    serve.add_argument("--sessions", type=int, default=32, help="concurrent flow sessions")
+    serve.add_argument("--max-packets", type=int, default=24, help="packets per flow (cap)")
+    serve.add_argument("--arrival-rate", type=float, default=2000.0,
+                       help="aggregate packet arrival rate of the schedule (packets/s)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="continuous-batching admission limit (1 = sequential reference)")
+    serve.add_argument("--flush-timeout-ms", type=float, default=2.0,
+                       help="flush a partial batch once its oldest request waited this long")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-decision latency budget; repeated misses demote a "
+                       "session to the offline profile tier")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="shard sessions across this many forked serving workers (0 = in-process)")
+    serve.add_argument("--profiles", default=None,
+                       help="JSONL of successful adversarial flows seeding the fallback profile database")
+    serve.add_argument("--seed", type=int, default=0)
 
     subparsers.add_parser("info", help="print version and experiment index")
     return parser
@@ -170,6 +198,88 @@ def _command_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serving tier is optional for the other commands.
+    from .core.profiles import ProfileDatabase
+    from .flows import load_flows_jsonl
+    from .serve import (
+        PolicyServer,
+        ServeConfig,
+        ShardedPolicyServer,
+        SyntheticWorkload,
+        build_policy_from_state,
+        run_workload,
+    )
+    from .nn.serialization import load_state_dict
+
+    size_scale = 16384.0 if args.dataset == "v2ray" else 1460.0
+    mix = (
+        {"v2ray": 0.6, "https": 0.4}
+        if args.dataset == "v2ray"
+        else {"tor": 0.6, "https": 0.4}
+    )
+    config = ServeConfig(
+        size_scale=size_scale,
+        max_batch=args.max_batch,
+        flush_timeout_ms=args.flush_timeout_ms,
+        deadline_ms=args.deadline_ms,
+    )
+    profile_db = None
+    if args.profiles:
+        profile_flows = load_flows_jsonl(args.profiles)
+        profile_db = ProfileDatabase()
+        profile_db.add_flows(profile_flows)
+        print(f"fallback profile database: {len(profile_db)} profiles from {args.profiles}")
+
+    # Load once in the driver; forked workers inherit the weights
+    # copy-on-write instead of re-reading the checkpoint.
+    actor, encoder = build_policy_from_state(load_state_dict(args.policy))
+    workload = SyntheticWorkload.generate(
+        n_sessions=args.sessions,
+        mix=mix,
+        arrival_rate_pps=args.arrival_rate,
+        max_packets=args.max_packets,
+        rng=args.seed,
+    )
+
+    def make_server(_index: int = 0) -> PolicyServer:
+        return PolicyServer(actor, encoder, config=config, profile_db=profile_db)
+
+    if args.workers:
+        with ShardedPolicyServer(make_server, n_workers=args.workers) as server:
+            report = run_workload(server, workload)
+    else:
+        report = run_workload(make_server(), workload)
+
+    print(
+        format_table(
+            [
+                {
+                    "sessions": report.n_sessions,
+                    "packets": report.n_packets,
+                    "decisions": report.decisions,
+                    "decisions_per_s": report.decisions_per_s,
+                    "p50_ms": report.p50_latency_ms,
+                    "p99_ms": report.p99_latency_ms,
+                    "fallback_rate": report.profile_fallback_rate,
+                }
+            ],
+            columns=[
+                "sessions",
+                "packets",
+                "decisions",
+                "decisions_per_s",
+                "p50_ms",
+                "p99_ms",
+                "fallback_rate",
+            ],
+            title=f"Policy serving ({args.dataset}, max_batch={args.max_batch}, "
+            f"workers={args.workers or 'in-process'})",
+        )
+    )
+    return 0
+
+
 def _command_info(_: argparse.Namespace) -> int:
     print(f"repro {__version__} — reproduction of Amoeba (CoNEXT 2023)")
     print("experiments: see DESIGN.md (per-experiment index) and EXPERIMENTS.md (paper vs measured)")
@@ -184,6 +294,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "evaluate-censors": _command_evaluate_censors,
         "attack": _command_attack,
+        "serve": _command_serve,
         "info": _command_info,
     }
     return handlers[args.command](args)

@@ -40,7 +40,16 @@ from ..flows.flow import Flow, FlowLabel
 from ..utils.rng import ensure_rng
 from .config import AmoebaConfig
 
-__all__ = ["AdversarialFlowEnv", "EpisodeSummary", "ActionKind", "PendingStep"]
+__all__ = [
+    "AdversarialFlowEnv",
+    "EpisodeSummary",
+    "ActionKind",
+    "PendingStep",
+    "ShapedPacket",
+    "shape_packet",
+    "make_observation",
+    "record_action",
+]
 
 
 class ActionKind:
@@ -49,6 +58,110 @@ class ActionKind:
     TRUNCATION = "truncation"
     PADDING = "padding"
     DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class ShapedPacket:
+    """Deterministic outcome of applying one policy action to the packet
+    currently being shaped."""
+
+    emitted_bytes: int    # unsigned bytes actually put on the wire
+    added_delay: float    # policy-added delay in ms (integer-discretised)
+    delay_action: float   # the clipped normalised delay component (time penalty)
+    is_truncation: bool   # True: the remainder is re-offered as the next observation
+
+
+def shape_packet(
+    action: np.ndarray,
+    remaining_bytes: float,
+    truncations_current_packet: int,
+    steps_taken: int,
+    size_scale: float,
+    min_packet_bytes: int,
+    max_delay_ms: float,
+    max_truncations_per_packet: int,
+    max_steps: Optional[int],
+) -> ShapedPacket:
+    """The paper's truncation/padding/delay action semantics, in one place.
+
+    Both the training emulator (:meth:`AdversarialFlowEnv.propose`) and the
+    online serving tier (:meth:`repro.serve.session.FlowSession.apply_action`)
+    call this function, which is what keeps served decisions bit-identical
+    to training-time shaping: truncation when the requested packet is
+    smaller than the remaining payload (unless the per-packet truncation
+    cap or the step budget forces the packet closed), padding up to the
+    requested size otherwise, integer byte / millisecond discretisation,
+    and the ``min_packet_bytes`` floor.  ``max_steps`` may be ``None`` for
+    an unbounded live stream.
+    """
+    action = np.asarray(action, dtype=np.float64).reshape(-1)
+    if action.shape[0] != 2:
+        raise ValueError(f"action must have 2 components, got {action.shape}")
+    size_action = float(np.clip(action[0], -1.0, 1.0))
+    delay_action = float(np.clip(action[1], 0.0, 1.0))
+
+    requested_bytes = abs(int(size_action * size_scale))
+    requested_bytes = max(min_packet_bytes, requested_bytes)
+    added_delay = float(int(delay_action * max_delay_ms))
+
+    force_close = truncations_current_packet >= max_truncations_per_packet or (
+        max_steps is not None and steps_taken + 1 >= max_steps
+    )
+    is_truncation = requested_bytes < remaining_bytes and not force_close
+    if is_truncation:
+        emitted_bytes = requested_bytes
+    else:
+        emitted_bytes = max(requested_bytes, int(np.ceil(remaining_bytes)))
+    return ShapedPacket(
+        emitted_bytes=emitted_bytes,
+        added_delay=added_delay,
+        delay_action=delay_action,
+        is_truncation=is_truncation,
+    )
+
+
+def make_observation(
+    direction: float,
+    remaining_bytes: float,
+    base_delay: float,
+    size_scale: float,
+    max_delay_ms: float,
+) -> np.ndarray:
+    """Normalised (size, delay) observation of the pending (sub-)packet.
+
+    Shared by the training environment and the serving tier so the policy
+    input is one definition: signed remaining payload clipped to the size
+    scale, original delay (zero for follow-up sub-packets) clipped to the
+    delay bound.
+    """
+    return np.asarray(
+        [
+            np.clip(direction * remaining_bytes / size_scale, -1.0, 1.0),
+            np.clip(base_delay / max_delay_ms, 0.0, 1.0),
+        ],
+        dtype=np.float64,
+    )
+
+
+def record_action(
+    direction: float,
+    emitted_bytes: float,
+    emitted_delay: float,
+    size_scale: float,
+    max_delay_ms: float,
+) -> np.ndarray:
+    """Normalised record of the *emitted* adversarial packet.
+
+    This is what enters the action-history encoder stream — shared between
+    environment and serving tier for the same reason as
+    :func:`make_observation`.
+    """
+    return np.asarray(
+        [
+            np.clip(direction * emitted_bytes / size_scale, -1.0, 1.0),
+            np.clip(emitted_delay / max_delay_ms, 0.0, 1.0),
+        ]
+    )
 
 
 @dataclass
@@ -208,6 +321,13 @@ class AdversarialFlowEnv:
     # Observation helpers
     # ------------------------------------------------------------------ #
     @property
+    def done(self) -> bool:
+        """True when no episode is in flight (before the first :meth:`reset`
+        or after the current episode terminated) — the public check drivers
+        use to decide whether to reset before stepping."""
+        return self._done
+
+    @property
     def observation_dim(self) -> int:
         return 2
 
@@ -227,12 +347,13 @@ class AdversarialFlowEnv:
         return float(self._original.delays[self._packet_index])
 
     def _make_observation(self) -> np.ndarray:
-        direction = self._current_direction()
-        size_norm = np.clip(
-            direction * self._remaining_bytes / self.normalizer.size_scale, -1.0, 1.0
+        return make_observation(
+            self._current_direction(),
+            self._remaining_bytes,
+            self._current_base_delay(),
+            self.normalizer.size_scale,
+            self.config.max_delay_ms,
         )
-        delay_norm = np.clip(self._current_base_delay() / self.config.max_delay_ms, 0.0, 1.0)
-        return np.asarray([size_norm, delay_norm], dtype=np.float64)
 
     def observation_history(self) -> np.ndarray:
         """All observations of the current episode as an (t, 2) array."""
@@ -282,29 +403,25 @@ class AdversarialFlowEnv:
         if self._done:
             raise RuntimeError("step() called on a finished episode; call reset() first")
         assert self._original is not None
-        action = np.asarray(action, dtype=np.float64).reshape(-1)
-        if action.shape[0] != 2:
-            raise ValueError(f"action must have 2 components, got {action.shape}")
-
-        size_action = float(np.clip(action[0], -1.0, 1.0))
-        delay_action = float(np.clip(action[1], 0.0, 1.0))
-
-        direction = self._current_direction()
-        requested_bytes = abs(int(size_action * self.normalizer.size_scale))
-        requested_bytes = max(self.config.min_packet_bytes, requested_bytes)
-        added_delay = float(int(delay_action * self.config.max_delay_ms))
-        base_delay = self._current_base_delay()
-        emitted_delay = base_delay + added_delay
-
-        force_close = (
-            self._truncations_current_packet >= self.config.max_truncations_per_packet
-            or self._steps + 1 >= self.config.max_episode_steps
-        )
-        is_truncation = requested_bytes < self._remaining_bytes and not force_close
 
         size_scale = self.normalizer.size_scale
-        if is_truncation:
-            emitted_bytes = requested_bytes
+        shaped = shape_packet(
+            action,
+            remaining_bytes=self._remaining_bytes,
+            truncations_current_packet=self._truncations_current_packet,
+            steps_taken=self._steps,
+            size_scale=size_scale,
+            min_packet_bytes=self.config.min_packet_bytes,
+            max_delay_ms=self.config.max_delay_ms,
+            max_truncations_per_packet=self.config.max_truncations_per_packet,
+            max_steps=self.config.max_episode_steps,
+        )
+        direction = self._current_direction()
+        base_delay = self._current_base_delay()
+        emitted_bytes = shaped.emitted_bytes
+        emitted_delay = base_delay + shaped.added_delay
+
+        if shaped.is_truncation:
             self._remaining_bytes -= emitted_bytes
             self._consumed_payload += emitted_bytes
             self._truncations_current_packet += 1
@@ -315,7 +432,6 @@ class AdversarialFlowEnv:
             )
             action_kind = ActionKind.TRUNCATION
         else:
-            emitted_bytes = max(requested_bytes, int(np.ceil(self._remaining_bytes)))
             padding_bytes = emitted_bytes - self._remaining_bytes
             self._consumed_payload += self._remaining_bytes
             data_penalty = padding_bytes / size_scale
@@ -326,19 +442,16 @@ class AdversarialFlowEnv:
                 action_kind = "exact"
             self._remaining_bytes = 0.0
 
-        if added_delay >= 1.0:
+        if shaped.added_delay >= 1.0:
             self._n_delays += 1
 
         # Record the emitted adversarial packet.
-        recorded_action = np.asarray(
-            [
-                np.clip(direction * emitted_bytes / size_scale, -1.0, 1.0),
-                np.clip(emitted_delay / self.config.max_delay_ms, 0.0, 1.0),
-            ]
+        recorded_action = record_action(
+            direction, emitted_bytes, emitted_delay, size_scale, self.config.max_delay_ms
         )
         self._adversarial_sizes.append(direction * emitted_bytes)
         self._adversarial_delays.append(emitted_delay)
-        self._added_delay_total += added_delay
+        self._added_delay_total += shaped.added_delay
         self._action_history.append(recorded_action)
         self._steps += 1
 
@@ -375,7 +488,7 @@ class AdversarialFlowEnv:
             masked=masked,
             done=done,
             data_penalty=data_penalty,
-            time_penalty=delay_action,  # already normalised by max_delay
+            time_penalty=shaped.delay_action,  # already normalised by max_delay
             recorded_action=recorded_action,
             next_observation=next_observation,
             prefix=prefix,

@@ -33,6 +33,7 @@ from .serialization import (
     pack_legacy_recurrent,
     save_module,
     save_state_dict,
+    split_prefixed_state,
     state_dict_from_bytes,
     state_dict_to_bytes,
 )
@@ -92,5 +93,6 @@ __all__ = [
     "state_dict_from_bytes",
     "metadata_from_bytes",
     "load_state_dict",
+    "split_prefixed_state",
     "pack_legacy_recurrent",
 ]

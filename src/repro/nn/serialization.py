@@ -38,6 +38,7 @@ __all__ = [
     "metadata_from_bytes",
     "load_metadata",
     "load_prefixed_state",
+    "split_prefixed_state",
     "pack_legacy_recurrent",
 ]
 
@@ -176,6 +177,26 @@ def load_prefixed_state(state: Dict[str, np.ndarray], modules) -> None:
                 if name.startswith(f"{prefix}.")
             }
         )
+
+
+def split_prefixed_state(state: Dict[str, np.ndarray]) -> Dict[str, Dict[str, np.ndarray]]:
+    """Group a combined state dict by its first name component.
+
+    The read-side counterpart of :func:`load_prefixed_state` for callers
+    that reconstruct modules from checkpoint *shapes* instead of loading
+    into pre-built ones (e.g. the serving tier rebuilding an actor/encoder
+    pair from an ``Amoeba.save_policy`` archive): ``{"actor.body.w": a,
+    "encoder.gru.b": b}`` becomes ``{"actor": {"body.w": a}, "encoder":
+    {"gru.b": b}}``.  Keys without a dot are rejected — the combined layout
+    always prefixes.
+    """
+    groups: Dict[str, Dict[str, np.ndarray]] = {}
+    for key, value in state.items():
+        prefix, dot, leaf = key.partition(".")
+        if not dot or not leaf:
+            raise ValueError(f"state key {key!r} carries no '<prefix>.' component")
+        groups.setdefault(prefix, {})[leaf] = value
+    return groups
 
 
 def save_module(module: Module, path: PathLike, metadata: Optional[dict] = None) -> Path:

@@ -1,0 +1,490 @@
+"""PolicyServer: online policy serving with continuous batching.
+
+The deployment story of Section 5.6: a proxy pair shapes live tunnelled
+flows with the trained policy, per packet, and must answer faster than the
+inter-packet gaps (Figure 11) or fall back to the offline profile database
+(Table 2).  The :class:`PolicyServer` is that online tier:
+
+* it loads an actor/encoder checkpoint written by ``Amoeba.save_policy``
+  (architecture inferred from the state-dict shapes, so any historical
+  checkpoint serves without side-channel metadata);
+* it manages thousands of concurrent flow **sessions**, each holding its own
+  incremental :class:`~repro.core.state_encoder.EncoderState` pair so one
+  per-packet decision costs one batched GRU step + one MLP forward;
+* a :class:`~repro.serve.scheduler.ContinuousBatchScheduler` coalesces
+  pending decisions across sessions into single ``act_batch`` /
+  ``step_pairs`` forwards (flush on full batch or timeout);
+* per-session deadline tracking demotes flows the online path cannot serve
+  in time to the :class:`~repro.core.profiles.ProfileDatabase` offline tier,
+  whose embedding overhead is reported per session at close.
+
+Determinism contract: ``act_batch`` and ``step_pairs`` run under
+:func:`repro.nn.row_consistent_matmul`, so every session's decision stream
+is bit-identical regardless of how requests are batched — ``max_batch=1``
+is the sequential reference the serving benchmark compares against, and a
+deterministic policy served here emits the same adversarial packets as
+``Amoeba.attack`` on the same flow.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.actor_critic import GaussianActor
+from ..core.config import AmoebaConfig
+from ..core.profiles import ProfileDatabase
+from ..core.state_encoder import StateEncoder
+from ..nn.serialization import load_state_dict, split_prefixed_state
+from ..utils.rng import ensure_rng
+from .scheduler import ContinuousBatchScheduler, DecisionRequest
+from .session import (
+    FlowSession,
+    SessionLimits,
+    SessionReport,
+    SessionStatus,
+    ShapingDecision,
+)
+
+__all__ = ["ServeConfig", "PolicyServer", "build_policy_from_state", "summarize_stats"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-tier configuration.
+
+    The shaping bounds (``size_scale``, ``min_packet_bytes``,
+    ``max_delay_ms``, ``max_truncations_per_packet``) must match the
+    training-time :class:`~repro.core.config.AmoebaConfig` /
+    :class:`~repro.features.representation.FlowNormalizer`; use
+    :meth:`from_amoeba` to derive them.  ``deadline_ms`` is the per-decision
+    latency budget (the Figure 11 inter-packet-delay argument): a session
+    whose recent decisions miss it too often (``miss_threshold`` over a
+    ``miss_window`` sliding window) is demoted to the offline profile tier.
+    ``deadline_ms=None`` disables demotion (pure throughput serving).
+    """
+
+    size_scale: float = 1460.0
+    min_packet_bytes: int = 64
+    max_delay_ms: float = 100.0
+    max_truncations_per_packet: int = 8
+    max_steps_per_session: Optional[int] = None
+
+    max_batch: int = 16
+    flush_timeout_ms: float = 2.0
+
+    deadline_ms: Optional[float] = None
+    miss_window: int = 8
+    miss_threshold: float = 0.5
+
+    # Recent decision latencies retained for stats()/percentiles.  Bounded:
+    # a long-running server must not grow memory linearly in decisions
+    # served (and stats() ships this window over worker pipes).
+    latency_history: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.latency_history < 1:
+            raise ValueError("latency_history must be >= 1")
+        if self.size_scale <= 0:
+            raise ValueError("size_scale must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.miss_window < 1:
+            raise ValueError("miss_window must be >= 1")
+        if not 0.0 < self.miss_threshold <= 1.0:
+            raise ValueError("miss_threshold must be in (0, 1]")
+
+    @classmethod
+    def from_amoeba(cls, config: AmoebaConfig, size_scale: float, **overrides) -> "ServeConfig":
+        """Derive the serving bounds from a training configuration."""
+        return cls(
+            size_scale=float(size_scale),
+            min_packet_bytes=config.min_packet_bytes,
+            max_delay_ms=config.max_delay_ms,
+            max_truncations_per_packet=config.max_truncations_per_packet,
+            **overrides,
+        )
+
+    def with_overrides(self, **overrides) -> "ServeConfig":
+        return replace(self, **overrides)
+
+    def session_limits(self) -> SessionLimits:
+        return SessionLimits(
+            size_scale=self.size_scale,
+            min_packet_bytes=self.min_packet_bytes,
+            max_delay_ms=self.max_delay_ms,
+            max_truncations_per_packet=self.max_truncations_per_packet,
+            max_steps=self.max_steps_per_session,
+        )
+
+
+def build_policy_from_state(
+    state: Dict[str, np.ndarray]
+) -> Tuple[GaussianActor, StateEncoder]:
+    """Reconstruct the actor and state encoder from a policy checkpoint.
+
+    The combined ``actor.* / critic.* / encoder.*`` layout written by
+    ``Amoeba.save_policy`` carries enough shape information to rebuild both
+    serving-relevant modules without metadata: the encoder's hidden size and
+    layer count from the packed GRU parameters, the actor's MLP widths from
+    the ``body.layerK.weight`` matrices.  (The critic is training-only and
+    ignored.)  Legacy per-gate checkpoints work too — ``load_state_dict``
+    packs them before this function sees the arrays.
+    """
+    groups = split_prefixed_state(state)
+    missing = {"actor", "encoder"} - set(groups)
+    if missing:
+        raise ValueError(f"checkpoint lacks required prefixes: {sorted(missing)}")
+
+    encoder_state = groups["encoder"]
+    cell_names = {key.split(".")[1] for key in encoder_state if key.startswith("gru.cell")}
+    if not cell_names:
+        raise ValueError("encoder state carries no gru.cell* parameters")
+    num_layers = len(cell_names)
+    hidden_size = int(np.asarray(encoder_state["gru.cell0.w_h"]).shape[0])
+    encoder = StateEncoder(
+        hidden_size=hidden_size, num_layers=num_layers, rng=np.random.default_rng(0)
+    )
+    encoder.load_state_dict(encoder_state)
+
+    actor_state = groups["actor"]
+    layer_indices = sorted(
+        int(key.split(".")[1][len("layer"):])
+        for key in actor_state
+        if key.startswith("body.layer") and key.endswith(".weight")
+    )
+    if not layer_indices:
+        raise ValueError("actor state carries no body.layer*.weight parameters")
+    weights = [np.asarray(actor_state[f"body.layer{i}.weight"]) for i in layer_indices]
+    state_dim = int(weights[0].shape[0])
+    action_dim = int(weights[-1].shape[1])
+    if state_dim != 2 * hidden_size:
+        raise ValueError(
+            f"checkpoint inconsistent: actor expects state_dim={state_dim}, "
+            f"encoder produces {2 * hidden_size}"
+        )
+    actor = GaussianActor(
+        state_dim=state_dim,
+        action_dim=action_dim,
+        hidden_dims=tuple(int(w.shape[1]) for w in weights[:-1]),
+        rng=np.random.default_rng(0),
+    )
+    actor.load_state_dict(actor_state)
+    encoder.eval()
+    return actor, encoder
+
+
+def summarize_stats(stats: Dict[str, object]) -> Dict[str, float]:
+    """Percentile / rate summary of a :meth:`PolicyServer.stats` dict.
+
+    Works on merged multi-shard stats too (latency lists concatenate).
+    """
+    latencies = np.asarray(stats.get("latencies_ms", ()), dtype=np.float64)
+    opened = int(stats.get("sessions_opened", 0))
+    decisions = int(stats.get("decisions", 0))
+    overheads = list(stats.get("fallback_data_overheads", ()))
+    embedded = list(stats.get("fallback_fully_embedded", ()))
+    return {
+        "decisions": float(decisions),
+        "p50_latency_ms": float(np.percentile(latencies, 50)) if latencies.size else 0.0,
+        "p99_latency_ms": float(np.percentile(latencies, 99)) if latencies.size else 0.0,
+        "deadline_miss_rate": (
+            float(stats.get("deadline_misses", 0)) / decisions if decisions else 0.0
+        ),
+        "profile_fallback_rate": (
+            float(stats.get("sessions_demoted", 0)) / opened if opened else 0.0
+        ),
+        "fallback_data_overhead": float(np.mean(overheads)) if overheads else 0.0,
+        "fallback_fully_embedded_rate": float(np.mean(embedded)) if embedded else 1.0,
+    }
+
+
+class PolicyServer:
+    """Online serving tier: concurrent sessions + continuous batching.
+
+    Parameters
+    ----------
+    actor, encoder:
+        The policy being served (typically reconstructed from a checkpoint
+        via :meth:`from_checkpoint`).  Decisions are deterministic (the
+        Gaussian mean) — serving never explores.
+    config:
+        :class:`ServeConfig` shaping bounds and scheduler knobs.
+    profile_db:
+        Optional :class:`~repro.core.profiles.ProfileDatabase` backing the
+        offline fallback tier.  Demoted sessions have their remaining
+        payload embedded into stored profiles at close time; without a
+        database demotion is still tracked (fallback rate), the embedding
+        overhead just goes unreported.
+    clock:
+        Monotonic-seconds callable (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        actor: GaussianActor,
+        encoder: StateEncoder,
+        config: Optional[ServeConfig] = None,
+        profile_db: Optional[ProfileDatabase] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        rng=None,
+    ) -> None:
+        self.actor = actor
+        self.encoder = encoder
+        self.config = config or ServeConfig()
+        self.profile_db = profile_db
+        self._clock = clock
+        self._rng = ensure_rng(rng if rng is not None else 0)
+        self._scheduler = ContinuousBatchScheduler(
+            max_batch=self.config.max_batch,
+            flush_timeout_ms=self.config.flush_timeout_ms,
+        )
+        self._sessions: Dict[str, FlowSession] = {}
+        self._session_counter = itertools.count()
+        self._outbox: List[ShapingDecision] = []
+        self._reports: List[SessionReport] = []
+
+        # Aggregate counters (the stats() payload).  Demotions are not
+        # counted here: stats() derives them from session/report status so
+        # the metric stays authoritative however a session was demoted
+        # (deadline tracker or an operator calling FlowSession.demote()).
+        self._sessions_opened = 0
+        self._sessions_closed = 0
+        self._decisions = 0
+        self._deadline_misses = 0
+        self._flushes = 0
+        self._latencies_ms: Deque[float] = deque(maxlen=self.config.latency_history)
+
+    # ------------------------------------------------------------------ #
+    # Construction from a checkpoint
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path,
+        config: Optional[ServeConfig] = None,
+        profile_db: Optional[ProfileDatabase] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        rng=None,
+    ) -> "PolicyServer":
+        """Build a server from an ``Amoeba.save_policy`` checkpoint."""
+        actor, encoder = build_policy_from_state(load_state_dict(path))
+        return cls(
+            actor, encoder, config=config, profile_db=profile_db, clock=clock, rng=rng
+        )
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def pending_decisions(self) -> int:
+        return self._scheduler.pending
+
+    def session(self, session_id: str) -> FlowSession:
+        return self._sessions[session_id]
+
+    def open_session(
+        self,
+        session_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        protocol: str = "live",
+    ) -> str:
+        """Admit a new flow; returns its session id.
+
+        ``deadline_ms`` overrides the server-wide decision deadline for this
+        flow (e.g. its observed inter-packet gap); ``None`` inherits
+        ``config.deadline_ms``.
+        """
+        if session_id is None:
+            session_id = f"s{next(self._session_counter)}"
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        self._sessions[session_id] = FlowSession(
+            session_id,
+            self.encoder,
+            self.config.session_limits(),
+            deadline_ms=self.config.deadline_ms if deadline_ms is None else deadline_ms,
+            miss_window=self.config.miss_window,
+            miss_threshold=self.config.miss_threshold,
+            protocol=protocol,
+        )
+        self._sessions_opened += 1
+        return session_id
+
+    def submit(self, session_id: str, size: float, delay_ms: float) -> None:
+        """Offer one original packet of a live flow for shaping.
+
+        Enqueues a decision request when the session is idle; a full queue
+        triggers an immediate flush (the batch-size admission rule), while
+        timeout-based flushing happens in :meth:`poll`.
+        """
+        session = self._sessions[session_id]
+        session.enqueue(size, delay_ms)
+        if session.arm_next():
+            self._scheduler.submit(
+                DecisionRequest(session_id=session_id, enqueued_at=self._clock())
+            )
+        if self._scheduler.pending >= self.config.max_batch:
+            self.flush()
+
+    def close_session(self, session_id: str) -> SessionReport:
+        """Close a flow: drain nothing, drop pending work, embed fallbacks."""
+        session = self._sessions.pop(session_id)
+        self._scheduler.drop_session(session_id)
+        if session.status != SessionStatus.CLOSED:
+            payload = session.profile_payload()
+            if payload is not None and self.profile_db is not None and len(self.profile_db):
+                session.profile_result = self.profile_db.embed_flow(payload, rng=self._rng)
+        report = session.close()
+        self._sessions_closed += 1
+        self._reports.append(report)
+        return report
+
+    def close_all(self) -> List[SessionReport]:
+        """Drain pending decisions, then close every remaining session."""
+        self.drain()
+        return [self.close_session(sid) for sid in list(self._sessions)]
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def poll(self) -> List[ShapingDecision]:
+        """Flush if the batch is full or the oldest request timed out."""
+        if self._scheduler.ready(self._clock()):
+            return self.flush()
+        return []
+
+    def drain(self) -> List[ShapingDecision]:
+        """Flush until no decision is pending (end-of-run barrier)."""
+        decisions: List[ShapingDecision] = []
+        while self._scheduler.pending:
+            decisions.extend(self.flush())
+        return decisions
+
+    def take_decisions(self) -> List[ShapingDecision]:
+        """Decisions accumulated since the last call (streaming consumers)."""
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+    def flush(self) -> List[ShapingDecision]:
+        """Serve one batch: fold observations, one actor forward, apply.
+
+        The whole batch shares one ``step_pairs`` call per encoder stream
+        and one deterministic ``act_batch`` forward; row-consistent matmuls
+        make each session's row independent of the batch composition.
+        """
+        batch = self._scheduler.take_batch()
+        # Sessions may have left the online tier (demotion, close) between
+        # enqueue and flush; their requests are dropped silently.
+        live: List[Tuple[DecisionRequest, FlowSession]] = [
+            (request, self._sessions[request.session_id])
+            for request in batch
+            if request.session_id in self._sessions
+        ]
+        live = [
+            (request, session)
+            for request, session in live
+            if session.online and session.in_flight
+        ]
+        if not live:
+            return []
+        self._flushes += 1
+
+        # 1) Fold the newly armed observations (one batched GRU step).
+        fold_rows = [
+            row for row, (_, session) in enumerate(live) if session.observation_pending_fold
+        ]
+        if fold_rows:
+            observations = np.stack(
+                [live[row][1].current_observation() for row in fold_rows]
+            )
+            folded = self.encoder.step_pairs(
+                observations, [live[row][1].observation_state for row in fold_rows]
+            )
+            for row, state in zip(fold_rows, folded):
+                live[row][1].mark_observation_folded(state)
+
+        # 2) One deterministic policy forward for the whole batch.
+        states = np.stack([session.state_vector() for _, session in live])
+        actions, _ = self.actor.act_batch(states, deterministic=True)
+
+        # 3) Apply actions through the per-session emulator.
+        now = self._clock()
+        decisions: List[ShapingDecision] = []
+        for row, (request, session) in enumerate(live):
+            latency_ms = max(0.0, (now - request.enqueued_at) * 1000.0)
+            decision = session.apply_action(actions[row], latency_ms=latency_ms)
+            decisions.append(decision)
+            self._decisions += 1
+            self._latencies_ms.append(decision.latency_ms)
+            if decision.deadline_missed:
+                self._deadline_misses += 1
+
+        # 4) Fold the emitted actions (one batched GRU step).
+        recorded = np.stack([decision.recorded_action for decision in decisions])
+        folded_actions = self.encoder.step_pairs(
+            recorded, [session.action_state for _, session in live]
+        )
+        for (_, session), state in zip(live, folded_actions):
+            session.mark_action_folded(state)
+
+        # 5) Re-arm follow-up work: truncation remainders continue the same
+        #    packet; completed packets pull the next one from the backlog.
+        requeue_at = self._clock()
+        for _, session in live:
+            if not session.online:
+                continue
+            if session.in_flight or session.arm_next():
+                self._scheduler.submit(
+                    DecisionRequest(session_id=session.session_id, enqueued_at=requeue_at)
+                )
+        self._outbox.extend(decisions)
+        return decisions
+
+    # ------------------------------------------------------------------ #
+    # Stats
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Raw counters (mergeable across shards; see :func:`summarize_stats`).
+
+        Scalars sum and lists concatenate under a multi-shard merge, which
+        is why the fallback embedding results are shipped as raw per-result
+        lists rather than pre-averaged rates (averages of averages would
+        weight empty shards).  ``latencies_ms`` is the recent window of
+        ``config.latency_history`` decisions, so long-running servers keep
+        stats() cheap; the counters cover the full lifetime.
+        """
+        profile_results = [
+            report.profile_result
+            for report in self._reports
+            if report.profile_result is not None
+        ]
+        demoted = sum(1 for report in self._reports if report.demoted) + sum(
+            1
+            for session in self._sessions.values()
+            if session.status == SessionStatus.DEMOTED
+        )
+        return {
+            "sessions_opened": self._sessions_opened,
+            "sessions_closed": self._sessions_closed,
+            "sessions_demoted": demoted,
+            "sessions_live": len(self._sessions),
+            "decisions": self._decisions,
+            "deadline_misses": self._deadline_misses,
+            "flushes": self._flushes,
+            "latencies_ms": list(self._latencies_ms),
+            "fallback_data_overheads": [r.data_overhead for r in profile_results],
+            "fallback_fully_embedded": [bool(r.fully_embedded) for r in profile_results],
+        }
+
+    def reports(self) -> List[SessionReport]:
+        return list(self._reports)

@@ -1,0 +1,448 @@
+"""Per-flow serving session: incremental state + the online shaping emulator.
+
+A :class:`FlowSession` is the serving-tier counterpart of one
+:class:`~repro.core.env.AdversarialFlowEnv` episode: it owns the two
+incremental :class:`~repro.core.state_encoder.EncoderState` streams
+(observation history and action history) of one live tunnelled flow, so a
+per-packet policy decision costs one batched GRU step instead of re-encoding
+the whole history (the PR 1 O(T) contract, now spent on inference serving).
+
+The deterministic shaping rules — truncation / padding / minimum packet
+size / per-packet truncation cap / step budget — are the *same code* the
+training emulator runs (:func:`repro.core.env.shape_packet`), minus
+everything reward- or censor-related (a proxy shaping live traffic never
+sees the censor's verdict).  Driving a session with a deterministic policy
+therefore emits bit-identical adversarial packets to :meth:`Amoeba.attack`
+on the same flow, which is asserted in ``tests/test_serve.py``.
+
+Sessions also carry the latency bookkeeping of the paper's deployment
+argument (Section 5.6, Figure 11): every decision is stamped with the time
+from request to answer, and a sliding window of deadline misses demotes the
+session to the offline :class:`~repro.core.profiles.ProfileDatabase` tier
+when the online path cannot beat the flow's inter-packet-delay budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.env import make_observation, record_action, shape_packet
+from ..core.profiles import ProfileEmbeddingResult
+from ..core.state_encoder import EncoderState, StateEncoder
+from ..flows.flow import Flow, FlowLabel
+
+__all__ = [
+    "SessionStatus",
+    "SessionLimits",
+    "PendingPacket",
+    "ShapingDecision",
+    "SessionReport",
+    "FlowSession",
+]
+
+
+class SessionStatus:
+    """Lifecycle states of a serving session."""
+
+    OPEN = "open"          # online tier: per-packet policy inference
+    DEMOTED = "demoted"    # offline tier: payload embedded into profiles
+    CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class SessionLimits:
+    """Deterministic shaping bounds, mirroring the training-time emulator.
+
+    ``min_packet_bytes`` / ``max_delay_ms`` / ``max_truncations_per_packet``
+    must match the :class:`~repro.core.config.AmoebaConfig` the policy was
+    trained with, otherwise the served action semantics drift from the
+    training distribution.  ``max_steps`` bounds the number of decisions a
+    session may take (``None`` = unbounded live stream); when set it mirrors
+    ``max_episode_steps``: the step *before* the budget force-closes the
+    current packet with padding, and reaching the budget closes the session.
+    """
+
+    size_scale: float
+    min_packet_bytes: int = 64
+    max_delay_ms: float = 100.0
+    max_truncations_per_packet: int = 8
+    max_steps: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PendingPacket:
+    """One original (payload) packet waiting to be shaped."""
+
+    size: float      # signed bytes (positive upstream, negative downstream)
+    delay_ms: float  # original inter-packet delay
+
+
+@dataclass(frozen=True)
+class ShapingDecision:
+    """One emitted adversarial packet (the answer to one decision request)."""
+
+    session_id: str
+    step: int
+    kind: str                 # ActionKind.TRUNCATION / PADDING / "exact"
+    emitted_size: float       # signed bytes actually sent on the wire
+    emitted_delay_ms: float   # original + policy-added delay
+    recorded_action: np.ndarray = field(repr=False)
+    latency_ms: float = 0.0
+    deadline_missed: bool = False
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Final accounting of one closed session."""
+
+    session_id: str
+    status: str
+    demoted: bool
+    n_decisions: int
+    n_packets_in: int
+    payload_bytes: float
+    emitted_bytes: float
+    added_delay_ms: float
+    deadline_misses: int
+    # The emitted adversarial packets; None when the session closed before
+    # any decision was served (a flow must contain at least one packet).
+    shaped_flow: Optional[Flow]
+    profile_result: Optional[ProfileEmbeddingResult] = None
+    unserved_packets: int = 0
+
+    @property
+    def data_overhead(self) -> float:
+        """padding / (payload + padding), as in Section 5.3."""
+        padding = max(0.0, self.emitted_bytes - self.payload_bytes)
+        denominator = self.payload_bytes + padding
+        return float(padding / denominator) if denominator > 0 else 0.0
+
+
+class FlowSession:
+    """Serving state of one live tunnelled flow.
+
+    The session is driven by the :class:`~repro.serve.server.PolicyServer`:
+    packets arrive via :meth:`enqueue`, decision requests are armed via
+    :meth:`arm_next`, and the scheduler's flush applies the policy action via
+    :meth:`apply_action`.  Encoder-state folding is owned by the server so it
+    can batch GRU steps across sessions; the session only stores the states.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        encoder: StateEncoder,
+        limits: SessionLimits,
+        deadline_ms: Optional[float] = None,
+        miss_window: int = 8,
+        miss_threshold: float = 0.5,
+        protocol: str = "live",
+    ) -> None:
+        self.session_id = session_id
+        self.limits = limits
+        self.deadline_ms = None if deadline_ms is None else float(deadline_ms)
+        self.miss_threshold = float(miss_threshold)
+        self.status = SessionStatus.OPEN
+        self.protocol = protocol
+
+        # Incremental dual-stream encoder state (s_t = E(x_1:t) || E(a_1:t)).
+        self.observation_state: EncoderState = encoder.initial_state()
+        self.action_state: EncoderState = encoder.initial_state()
+
+        # Emulator state of the packet currently being shaped.
+        self._inbox: Deque[PendingPacket] = deque()
+        self._direction = 0.0
+        self._remaining_bytes = 0.0
+        self._base_delay = 0.0
+        self._truncations_current_packet = 0
+        self._steps = 0
+        self._observation_armed = False  # current packet's obs awaiting fold
+
+        # Emitted adversarial packets and accounting.  Latencies are kept
+        # as a bounded recent window — sessions may serve unbounded live
+        # streams, and aggregate percentiles live server-side.
+        self._out_sizes: List[float] = []
+        self._out_delays: List[float] = []
+        self._payload_consumed = 0.0
+        self._added_delay_total = 0.0
+        self._n_decisions = 0
+        self._n_packets_in = 0
+        self._deadline_misses = 0
+        self._recent_misses: Deque[bool] = deque(maxlen=max(1, int(miss_window)))
+        self._latencies_ms: Deque[float] = deque(maxlen=256)
+
+        # Offline-tier payload (packets that arrived after demotion).
+        self._profile_sizes: List[float] = []
+        self._profile_delays: List[float] = []
+        self.profile_result: Optional[ProfileEmbeddingResult] = None
+
+    # ------------------------------------------------------------------ #
+    # Packet intake
+    # ------------------------------------------------------------------ #
+    @property
+    def online(self) -> bool:
+        return self.status == SessionStatus.OPEN
+
+    @property
+    def closed(self) -> bool:
+        return self.status == SessionStatus.CLOSED
+
+    @property
+    def in_flight(self) -> bool:
+        """A packet is currently being shaped (decision pending)."""
+        return self._remaining_bytes > 0 or self._observation_armed
+
+    @property
+    def backlog(self) -> int:
+        return len(self._inbox)
+
+    @property
+    def n_decisions(self) -> int:
+        return self._n_decisions
+
+    @property
+    def deadline_misses(self) -> int:
+        return self._deadline_misses
+
+    @property
+    def latencies_ms(self) -> List[float]:
+        return list(self._latencies_ms)
+
+    def enqueue(self, size: float, delay_ms: float) -> None:
+        """Accept one original packet for shaping (or profile fallback).
+
+        A zero-size packet is rejected at this ingestion boundary (the sign
+        encodes direction, exactly as in the :class:`~repro.flows.flow.Flow`
+        model); letting one through would arm a payload-less decision that
+        crashes mid-flush and disturbs its batch-mates.
+        """
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        size = float(size)
+        delay_ms = float(delay_ms)
+        if size == 0.0:
+            raise ValueError("packet size must be non-zero (sign encodes direction)")
+        self._n_packets_in += 1
+        if self.status == SessionStatus.DEMOTED:
+            self._profile_sizes.append(size)
+            self._profile_delays.append(delay_ms)
+            return
+        self._inbox.append(PendingPacket(size=size, delay_ms=delay_ms))
+
+    def arm_next(self) -> bool:
+        """Start shaping the next queued packet; True if a decision is now due.
+
+        Mirrors the environment's per-packet reset: direction and remaining
+        bytes come from the new packet, the original inter-packet delay is
+        only charged on its first sub-packet.
+        """
+        if not self.online or self.in_flight or not self._inbox:
+            return False
+        packet = self._inbox.popleft()
+        self._direction = float(np.sign(packet.size))
+        self._remaining_bytes = float(abs(packet.size))
+        self._base_delay = float(packet.delay_ms)
+        self._truncations_current_packet = 0
+        self._observation_armed = True
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Observation / action folding hooks (called by the server)
+    # ------------------------------------------------------------------ #
+    def current_observation(self) -> np.ndarray:
+        """Normalised (size, delay) observation of the pending sub-packet.
+
+        Delegates to :func:`repro.core.env.make_observation` — the same
+        formula the training environment uses — with the original delay
+        zeroed for follow-up sub-packets after a truncation.
+        """
+        base = 0.0 if self._truncations_current_packet > 0 else self._base_delay
+        return make_observation(
+            self._direction,
+            self._remaining_bytes,
+            base,
+            self.limits.size_scale,
+            self.limits.max_delay_ms,
+        )
+
+    @property
+    def observation_pending_fold(self) -> bool:
+        return self._observation_armed
+
+    def mark_observation_folded(self, state: EncoderState) -> None:
+        self.observation_state = state
+        self._observation_armed = False
+
+    def state_vector(self) -> np.ndarray:
+        """Current policy input ``s_t = E(x_1:t) || E(a_1:t)``."""
+        return np.concatenate(
+            [self.observation_state.representation, self.action_state.representation]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decision application (deterministic emulator, = env.propose)
+    # ------------------------------------------------------------------ #
+    def apply_action(
+        self, action: np.ndarray, latency_ms: float = 0.0
+    ) -> ShapingDecision:
+        """Turn one policy action into the emitted adversarial packet.
+
+        The shaping arithmetic is :func:`repro.core.env.shape_packet` — the
+        *same* function the training emulator calls — so a deterministic
+        policy served here emits the same packets
+        :meth:`AdversarialFlowEnv.propose` would, bit for bit.
+        """
+        if not self.online:
+            raise RuntimeError(f"session {self.session_id!r} is not online")
+        if self._remaining_bytes <= 0:
+            raise RuntimeError("no packet armed; call arm_next() first")
+        limits = self.limits
+
+        shaped = shape_packet(
+            action,
+            remaining_bytes=self._remaining_bytes,
+            truncations_current_packet=self._truncations_current_packet,
+            steps_taken=self._steps,
+            size_scale=limits.size_scale,
+            min_packet_bytes=limits.min_packet_bytes,
+            max_delay_ms=limits.max_delay_ms,
+            max_truncations_per_packet=limits.max_truncations_per_packet,
+            max_steps=limits.max_steps,
+        )
+        emitted_bytes = shaped.emitted_bytes
+        base_delay = 0.0 if self._truncations_current_packet > 0 else self._base_delay
+        emitted_delay = base_delay + shaped.added_delay
+
+        if shaped.is_truncation:
+            self._remaining_bytes -= emitted_bytes
+            self._payload_consumed += emitted_bytes
+            self._truncations_current_packet += 1
+            kind = "truncation"
+            # The remainder is re-offered as the next observation (base
+            # delay zero), exactly like the training emulator.
+            self._observation_armed = True
+        else:
+            padding = emitted_bytes - self._remaining_bytes
+            self._payload_consumed += self._remaining_bytes
+            self._remaining_bytes = 0.0
+            kind = "padding" if padding > 0 else "exact"
+
+        recorded_action = record_action(
+            self._direction, emitted_bytes, emitted_delay, limits.size_scale, limits.max_delay_ms
+        )
+        self._out_sizes.append(self._direction * emitted_bytes)
+        self._out_delays.append(emitted_delay)
+        self._added_delay_total += shaped.added_delay
+        self._steps += 1
+        self._n_decisions += 1
+
+        missed = self._record_latency(latency_ms)
+        decision = ShapingDecision(
+            session_id=self.session_id,
+            step=self._steps,
+            kind=kind,
+            emitted_size=self._direction * emitted_bytes,
+            emitted_delay_ms=emitted_delay,
+            recorded_action=recorded_action,
+            latency_ms=float(latency_ms),
+            deadline_missed=missed,
+        )
+
+        if limits.max_steps is not None and self._steps >= limits.max_steps:
+            # Step budget exhausted: the session leaves the online tier with
+            # whatever is still queued unserved (mirrors the episode cap).
+            self.status = SessionStatus.CLOSED
+        elif missed and self._should_demote():
+            self.demote()
+        return decision
+
+    def mark_action_folded(self, state: EncoderState) -> None:
+        self.action_state = state
+
+    # ------------------------------------------------------------------ #
+    # Deadline tracking and demotion
+    # ------------------------------------------------------------------ #
+    def _record_latency(self, latency_ms: float) -> bool:
+        self._latencies_ms.append(float(latency_ms))
+        if self.deadline_ms is None:
+            return False
+        missed = latency_ms > self.deadline_ms
+        if missed:
+            self._deadline_misses += 1
+        self._recent_misses.append(missed)
+        return missed
+
+    def _should_demote(self) -> bool:
+        window = self._recent_misses
+        if window.maxlen is None or len(window) < window.maxlen:
+            return False
+        return float(np.mean(window)) >= self.miss_threshold
+
+    def demote(self) -> None:
+        """Fall back to the offline profile tier (Section 5.6.1).
+
+        The online path stops: the unfinished packet remainder and every
+        queued or future packet are routed to the profile payload, to be
+        embedded into pre-stored adversarial shapes at close time.
+        """
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        if self.status == SessionStatus.DEMOTED:
+            return
+        self.status = SessionStatus.DEMOTED
+        if self._remaining_bytes > 0:
+            self._profile_sizes.append(self._direction * self._remaining_bytes)
+            self._profile_delays.append(0.0)
+            self._remaining_bytes = 0.0
+        self._observation_armed = False
+        while self._inbox:
+            packet = self._inbox.popleft()
+            self._profile_sizes.append(packet.size)
+            self._profile_delays.append(packet.delay_ms)
+
+    def profile_payload(self) -> Optional[Flow]:
+        """Payload awaiting offline embedding, as a flow (None when empty)."""
+        if not self._profile_sizes:
+            return None
+        return Flow(
+            sizes=np.asarray(self._profile_sizes, dtype=np.float64),
+            delays=np.asarray(self._profile_delays, dtype=np.float64),
+            label=FlowLabel.CENSORED,
+            protocol=f"{self.protocol}-fallback",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Close
+    # ------------------------------------------------------------------ #
+    def close(self) -> SessionReport:
+        """Finalise the session and return its accounting report."""
+        demoted = self.status == SessionStatus.DEMOTED
+        unserved = len(self._inbox) + (1 if self._remaining_bytes > 0 else 0)
+        self.status = SessionStatus.CLOSED
+        shaped = None
+        if self._out_sizes:
+            shaped = Flow(
+                sizes=np.asarray(self._out_sizes, dtype=np.float64),
+                delays=np.asarray(self._out_delays, dtype=np.float64),
+                label=FlowLabel.CENSORED,
+                protocol=f"{self.protocol}-adv",
+                metadata={"session_id": self.session_id},
+            )
+        return SessionReport(
+            session_id=self.session_id,
+            status=SessionStatus.DEMOTED if demoted else SessionStatus.CLOSED,
+            demoted=demoted,
+            n_decisions=self._n_decisions,
+            n_packets_in=self._n_packets_in,
+            payload_bytes=float(self._payload_consumed),
+            emitted_bytes=float(np.sum(np.abs(self._out_sizes))) if self._out_sizes else 0.0,
+            added_delay_ms=float(self._added_delay_total),
+            deadline_misses=self._deadline_misses,
+            shaped_flow=shaped,
+            profile_result=self.profile_result,
+            unserved_packets=unserved,
+        )

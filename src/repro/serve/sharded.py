@@ -1,0 +1,233 @@
+"""Sharded policy serving: sessions partitioned across forked workers.
+
+One :class:`PolicyServer` handles thousands of sessions, but a single
+process only has one core's worth of GEMM throughput.
+:class:`ShardedPolicyServer` scales out the same API by forking ``W``
+serving workers (the :mod:`repro.distrib` command-pipe pattern: POSIX
+``fork``, policy weights inherited copy-on-write, framed commands over
+duplex pipes) and routing each session to one worker for its whole
+lifetime, so its incremental encoder state never crosses a process
+boundary.  Sessions are assigned round-robin at open time, which keeps the
+shards balanced under homogeneous load; packet submissions are buffered per
+shard and shipped in ``submit_many`` frames to amortise pipe round-trips.
+
+Each worker runs its own continuous-batching scheduler over its session
+subset — global batching across processes would serialise on the driver,
+defeating the point.  The determinism contract survives sharding for the
+same reason it survives batching: row-consistent forwards make every
+session's decision stream independent of which process (and which batch)
+served it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .server import PolicyServer
+from .session import SessionReport
+from .worker import serve_worker_main
+
+__all__ = ["ShardedPolicyServer"]
+
+_PIPE_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
+
+
+class ShardedPolicyServer:
+    """Drives ``W`` forked :class:`PolicyServer` replicas behind one API.
+
+    Parameters
+    ----------
+    server_factory:
+        ``server_factory(worker_index) -> PolicyServer``, executed inside
+        the freshly forked worker (closures are fine — ``fork`` never
+        pickles them).
+    n_workers:
+        Number of serving workers (= session shards).
+    submit_buffer:
+        Packets buffered per shard before a ``submit_many`` frame is sent;
+        larger values amortise pipe overhead at the cost of added queueing
+        delay.  :meth:`poll` and :meth:`drain` always flush the buffers.
+    """
+
+    def __init__(
+        self,
+        server_factory: Callable[[int], PolicyServer],
+        n_workers: int,
+        submit_buffer: int = 64,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if submit_buffer < 1:
+            raise ValueError("submit_buffer must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ShardedPolicyServer requires the 'fork' start method (POSIX "
+                "only): workers inherit the policy weights copy-on-write"
+            )
+        context = multiprocessing.get_context("fork")
+        self._n_workers = n_workers
+        self._submit_buffer = submit_buffer
+        self._shard_of: Dict[str, int] = {}
+        self._next_shard = 0
+        self._poll_cursor = 0
+        self._buffers: List[List[Tuple[str, float, float]]] = [[] for _ in range(n_workers)]
+        self._closed = False
+        self._decisions = 0
+
+        self._processes = []
+        self._conns = []
+        for index in range(n_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=serve_worker_main,
+                args=(child_conn, server_factory, index),
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._conns.append(parent_conn)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def decisions_observed(self) -> int:
+        """Decisions reported by workers so far (buffered frames excluded)."""
+        return self._decisions
+
+    def _ask(self, shard: int, message: tuple):
+        if self._closed:
+            raise RuntimeError("sharded server is closed")
+        try:
+            self._conns[shard].send(message)
+            reply = self._conns[shard].recv()
+        except _PIPE_ERRORS as error:
+            raise RuntimeError(
+                f"serving worker {shard} died; its sessions are lost "
+                "(serving state is not replayable)"
+            ) from error
+        if reply[0] == "error":
+            raise RuntimeError(f"serving worker {shard} failed:\n{reply[1]}")
+        return reply[1]
+
+    def _flush_buffer(self, shard: int) -> None:
+        if self._buffers[shard]:
+            frame, self._buffers[shard] = self._buffers[shard], []
+            self._decisions += self._ask(shard, ("submit_many", frame))
+
+    # ------------------------------------------------------------------ #
+    # PolicyServer-compatible surface
+    # ------------------------------------------------------------------ #
+    def open_session(
+        self,
+        session_id: str,
+        deadline_ms: Optional[float] = None,
+        protocol: str = "live",
+    ) -> str:
+        if session_id in self._shard_of:
+            raise ValueError(f"session {session_id!r} already open")
+        shard = self._next_shard
+        self._next_shard = (self._next_shard + 1) % self._n_workers
+        self._flush_buffer(shard)
+        self._ask(
+            shard, ("open", session_id, {"deadline_ms": deadline_ms, "protocol": protocol})
+        )
+        self._shard_of[session_id] = shard
+        return session_id
+
+    def submit(self, session_id: str, size: float, delay_ms: float) -> None:
+        shard = self._shard_of[session_id]
+        self._buffers[shard].append((session_id, float(size), float(delay_ms)))
+        if len(self._buffers[shard]) >= self._submit_buffer:
+            self._flush_buffer(shard)
+
+    def poll(self) -> int:
+        """Service one shard (round-robin): ship its buffer, flush timeouts.
+
+        Drivers call this per packet arrival; touching every shard per
+        event would cost ``2·W`` pipe round-trips per packet and defeat the
+        submit buffers entirely.  Round-robin bounds both buffered-packet
+        and timed-out-batch staleness to ``n_workers`` polls, and
+        :meth:`drain` remains the full barrier.
+        """
+        shard = self._poll_cursor
+        self._poll_cursor = (self._poll_cursor + 1) % self._n_workers
+        self._flush_buffer(shard)
+        count = self._ask(shard, ("poll",))
+        self._decisions += count
+        return count
+
+    def drain(self) -> int:
+        """Ship every buffered packet and serve every pending decision."""
+        count = 0
+        for shard in range(self._n_workers):
+            self._flush_buffer(shard)
+            count += self._ask(shard, ("drain",))
+        self._decisions += count
+        return count
+
+    def close_session(self, session_id: str) -> SessionReport:
+        shard = self._shard_of.pop(session_id)
+        self._flush_buffer(shard)
+        return self._ask(shard, ("close_session", session_id))
+
+    def close_all(self) -> List[SessionReport]:
+        self.drain()
+        return [self.close_session(sid) for sid in list(self._shard_of)]
+
+    def stats(self) -> Dict[str, object]:
+        """Merged raw counters across shards (see :func:`summarize_stats`).
+
+        The raw stats layout makes the merge mechanical: scalar counters
+        sum and per-item lists (latencies, fallback embedding results)
+        concatenate, so derived rates computed by ``summarize_stats`` are
+        correctly weighted however sessions were distributed.
+        """
+        merged: Dict[str, object] = {}
+        for shard in range(self._n_workers):
+            stats = self._ask(shard, ("stats",))
+            for key, value in stats.items():
+                if isinstance(value, list):
+                    merged.setdefault(key, []).extend(value)
+                else:
+                    merged[key] = merged.get(key, 0) + value
+        return merged
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._closed:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+                conn.recv()
+            except _PIPE_ERRORS:
+                pass
+        self._closed = True
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardedPolicyServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,85 @@
+"""Serving worker process: command loop around a :class:`PolicyServer`.
+
+Same framed-pipe pattern as :mod:`repro.distrib.worker`: workers are forked
+(POSIX ``fork``), so the policy weights and configuration are inherited
+copy-on-write, and driver and worker then speak a tiny command protocol over
+a duplex pipe:
+
+=================== =========================== ===========================
+command             payload                     reply
+=================== =========================== ===========================
+``open``            (session_id, kwargs)        ``("ok", None)``
+``submit_many``     [(sid, size, delay), ...]   ``("result", n_decisions)``
+``poll``            —                           ``("result", n_decisions)``
+``drain``           —                           ``("result", n_decisions)``
+``close_session``   session_id                  ``("result", SessionReport)``
+``stats``           —                           ``("result", stats dict)``
+``close``           —                           ``("ok", None)``, then exit
+=================== =========================== ===========================
+
+Exceptions inside a command are caught and returned as ``("error",
+traceback)`` so the driver can re-raise them.  Unlike the rollout tier,
+serving sessions hold live connection state that cannot be replayed from a
+seed tree, so a crashed serving worker is a hard error rather than a
+restartable fault — the driver surfaces it and the operator's load balancer
+is expected to re-open the affected flows elsewhere.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Callable
+
+__all__ = ["serve_worker_main"]
+
+
+def serve_worker_main(conn, server_factory: Callable[[int], object], worker_index: int) -> None:
+    """Entry point of a forked serving worker."""
+    try:
+        server = server_factory(worker_index)
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        try:
+            if command == "open":
+                session_id, kwargs = message[1], message[2]
+                server.open_session(session_id, **kwargs)
+                conn.send(("ok", None))
+            elif command == "submit_many":
+                for session_id, size, delay_ms in message[1]:
+                    server.submit(session_id, size, delay_ms)
+                # The outbox is the single counting source: every command
+                # drains it, so each decision is reported exactly once even
+                # though flush() both returns decisions and outboxes them.
+                conn.send(("result", len(server.take_decisions())))
+            elif command == "poll":
+                server.poll()
+                conn.send(("result", len(server.take_decisions())))
+            elif command == "drain":
+                server.drain()
+                conn.send(("result", len(server.take_decisions())))
+            elif command == "close_session":
+                conn.send(("result", server.close_session(message[1])))
+            elif command == "stats":
+                conn.send(("result", server.stats()))
+            elif command == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", f"unknown serve worker command {command!r}"))
+        except Exception:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()

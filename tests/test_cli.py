@@ -36,6 +36,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["attack", "--censor", "XGB"])
 
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--policy", "p.npz", "--sessions", "12", "--max-batch", "4"]
+        )
+        assert args.policy == "p.npz"
+        assert args.sessions == 12
+        assert args.max_batch == 4
+        assert args.workers == 0  # in-process serving by default
+        assert args.deadline_ms is None
+
+    def test_serve_requires_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["--version"])
@@ -108,6 +122,41 @@ class TestCommands:
         assert adversarial_path.exists()
         out = capsys.readouterr().out
         assert "asr" in out
+
+    def test_serve_command_small(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core import GaussianActor, StateEncoder
+        from repro.nn.serialization import save_state_dict
+
+        rng = np.random.default_rng(0)
+        encoder = StateEncoder(hidden_size=8, num_layers=2, rng=rng)
+        actor = GaussianActor(state_dim=16, hidden_dims=(16,), rng=rng)
+        state = {}
+        for prefix, module in (("actor", actor), ("encoder", encoder)):
+            for name, value in module.state_dict().items():
+                state[f"{prefix}.{name}"] = value
+        policy_path = tmp_path / "policy.npz"
+        save_state_dict(state, policy_path)
+
+        code = main(
+            [
+                "serve",
+                "--policy",
+                str(policy_path),
+                "--sessions",
+                "6",
+                "--max-packets",
+                "8",
+                "--max-batch",
+                "4",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decisions_per_s" in out and "fallback_rate" in out
 
     def test_attack_pipeline_requires_workers(self):
         with pytest.raises(SystemExit, match="--pipeline requires --workers"):

@@ -177,7 +177,63 @@ class TestProfileDatabase:
             [AdversarialProfile.from_flow(flow) for flow in tor_splits.attack_train.censored_flows[:5]]
         )
         summary = db.overhead_summary(tor_splits.test.censored_flows[:5], rng=0)
-        assert {"data_overhead", "time_overhead", "mean_profiles_per_flow"} == set(summary)
+        assert {
+            "data_overhead",
+            "time_overhead",
+            "mean_profiles_per_flow",
+            "fully_embedded_rate",
+        } == set(summary)
+        assert 0.0 <= summary["fully_embedded_rate"] <= 1.0
+
+    def test_zero_payload_flow_uses_no_profiles(self):
+        # The Flow model forbids zero-size packets, but embed_flow only
+        # reads sizes/duration, and a degenerate zero-payload input (e.g. a
+        # fallback session that never accumulated payload) must not draw
+        # profiles or charge handshakes.
+        from types import SimpleNamespace
+
+        db = ProfileDatabase([AdversarialProfile.from_flow(self.make_profile_flow())])
+        empty = SimpleNamespace(sizes=np.zeros(2), delays=np.array([0.0, 5.0]), duration=5.0)
+        result = db.embed_flow(empty, rng=0)
+        assert result.n_profiles_used == 0
+        assert result.payload_bytes == 0.0
+        assert result.transmitted_bytes == 0.0
+        assert result.handshake_overhead_ms == 0.0
+        assert result.fully_embedded
+        assert result.data_overhead == 0.0
+
+    def test_capacity_exhaustion_sets_fully_embedded_false(self):
+        # Upstream-only profiles can never carry downstream payload: the
+        # draw cap must terminate the loop and flag the truncation instead
+        # of silently underreporting the overhead (or spinning forever).
+        upstream_only = Flow(sizes=[500.0, 700.0], delays=[0.0, 5.0], label=FlowLabel.CENSORED)
+        db = ProfileDatabase(
+            [AdversarialProfile.from_flow(upstream_only)], max_embed_passes=3
+        )
+        heavy_down = Flow(sizes=[200.0, -50_000.0], delays=[0.0, 5.0], label=FlowLabel.CENSORED)
+        result = db.embed_flow(heavy_down, rng=0)
+        assert not result.fully_embedded
+        # Every draw of every pass was spent before giving up.
+        assert result.n_profiles_used == 3 * len(db)
+        summary = db.overhead_summary([heavy_down, upstream_only], rng=0)
+        assert summary["fully_embedded_rate"] == pytest.approx(0.5)
+
+    def test_heavy_flow_draws_fresh_permutations_beyond_first_pass(self):
+        # One pass over this database cannot carry the payload; fresh
+        # permutations must keep drawing until it fits within the cap.
+        db = ProfileDatabase(
+            [AdversarialProfile.from_flow(self.make_profile_flow(0.1))],
+            max_embed_passes=200,
+        )
+        heavy = Flow(sizes=[5000.0, -5000.0], delays=[0.0, 5.0], label=FlowLabel.CENSORED)
+        result = db.embed_flow(heavy, rng=0)
+        assert result.fully_embedded
+        assert result.n_profiles_used > len(db)
+        assert result.transmitted_bytes >= result.payload_bytes
+
+    def test_max_embed_passes_validated(self):
+        with pytest.raises(ValueError):
+            ProfileDatabase(max_embed_passes=0)
 
     def test_profile_mode_costs_more_than_online_mode(self, trained_agent, tor_splits):
         """Table 2's qualitative claim: replaying pre-stored profiles costs more

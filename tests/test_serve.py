@@ -1,0 +1,418 @@
+"""Tests for the online policy-serving subsystem (``repro.serve``).
+
+Covers the session lifecycle (admit -> decide -> demote-to-profile ->
+close), the scheduler's batching invariants — a session's decisions are
+bit-identical regardless of which batch they land in, thanks to
+``nn.row_consistent_matmul`` — the checkpoint reconstruction path, the
+sharded serving workers, and equivalence of the serving emulator with the
+training-time environment (``Amoeba.attack``).
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import Amoeba, AmoebaConfig, GaussianActor, StateEncoder
+from repro.core.profiles import AdversarialProfile, ProfileDatabase
+from repro.flows import Flow, FlowLabel
+from repro.nn.serialization import save_state_dict, split_prefixed_state
+from repro.serve import (
+    ContinuousBatchScheduler,
+    DecisionRequest,
+    PolicyServer,
+    ServeConfig,
+    SessionStatus,
+    ShardedPolicyServer,
+    SyntheticWorkload,
+    build_policy_from_state,
+    run_workload,
+    summarize_stats,
+)
+
+ENCODER_HIDDEN = 8
+
+
+class FakeClock:
+    """Deterministic clock: advances a fixed amount per read (seconds)."""
+
+    def __init__(self, tick_s: float = 0.0) -> None:
+        self.t = 0.0
+        self.tick_s = tick_s
+
+    def __call__(self) -> float:
+        self.t += self.tick_s
+        return self.t
+
+
+@pytest.fixture(scope="module")
+def policy():
+    rng = np.random.default_rng(0)
+    encoder = StateEncoder(hidden_size=ENCODER_HIDDEN, num_layers=2, rng=rng)
+    actor = GaussianActor(state_dim=2 * ENCODER_HIDDEN, hidden_dims=(16,), rng=rng)
+    return actor, encoder
+
+
+@pytest.fixture(scope="module")
+def serve_config():
+    return ServeConfig(size_scale=1460.0, max_batch=4, flush_timeout_ms=0.0)
+
+
+def make_server(policy, config, **kwargs):
+    actor, encoder = policy
+    return PolicyServer(actor, encoder, config=config, **kwargs)
+
+
+def serve_flow(server, flow, session_id="s"):
+    sid = server.open_session(session_id)
+    for size, delay in zip(flow.sizes, flow.delays):
+        server.submit(sid, size, delay)
+        server.poll()
+    server.drain()
+    return server.close_session(sid)
+
+
+# --------------------------------------------------------------------- #
+# Scheduler
+# --------------------------------------------------------------------- #
+class TestScheduler:
+    def test_flushes_on_full_batch(self):
+        scheduler = ContinuousBatchScheduler(max_batch=3, flush_timeout_ms=1000.0)
+        for index in range(3):
+            assert not scheduler.ready(now=0.0)
+            scheduler.submit(DecisionRequest(session_id=f"s{index}", enqueued_at=0.0))
+        assert scheduler.ready(now=0.0)
+        batch = scheduler.take_batch()
+        assert [request.session_id for request in batch] == ["s0", "s1", "s2"]
+        assert scheduler.pending == 0
+
+    def test_flushes_on_timeout(self):
+        scheduler = ContinuousBatchScheduler(max_batch=8, flush_timeout_ms=5.0)
+        scheduler.submit(DecisionRequest(session_id="s", enqueued_at=0.0))
+        assert not scheduler.ready(now=0.004)
+        assert scheduler.ready(now=0.0051)
+
+    def test_take_batch_caps_at_max_batch(self):
+        scheduler = ContinuousBatchScheduler(max_batch=2, flush_timeout_ms=0.0)
+        for index in range(5):
+            scheduler.submit(DecisionRequest(session_id=f"s{index}", enqueued_at=0.0))
+        assert len(scheduler.take_batch()) == 2
+        assert scheduler.pending == 3
+
+    def test_drop_session(self):
+        scheduler = ContinuousBatchScheduler(max_batch=8, flush_timeout_ms=0.0)
+        scheduler.submit(DecisionRequest(session_id="a", enqueued_at=0.0))
+        scheduler.submit(DecisionRequest(session_id="b", enqueued_at=0.0))
+        assert scheduler.drop_session("a") == 1
+        assert [request.session_id for request in scheduler.take_batch()] == ["b"]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(max_batch=0)
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(flush_timeout_ms=-1.0)
+
+
+# --------------------------------------------------------------------- #
+# Session lifecycle
+# --------------------------------------------------------------------- #
+class TestSessionLifecycle:
+    def test_admit_decide_close(self, policy, serve_config, simple_flow):
+        server = make_server(policy, serve_config)
+        report = serve_flow(server, simple_flow)
+        assert report.status == SessionStatus.CLOSED
+        assert not report.demoted
+        assert report.n_decisions >= simple_flow.n_packets
+        assert report.n_packets_in == simple_flow.n_packets
+        # Constraint (1): the full payload is delivered.
+        assert report.emitted_bytes >= report.payload_bytes
+        assert report.shaped_flow.n_packets == report.n_decisions
+        assert report.unserved_packets == 0
+        assert 0.0 <= report.data_overhead < 1.0
+
+    def test_deadline_misses_demote_to_profile_tier(self, policy, simple_flow):
+        # Every clock read advances 5 ms against a 1 ms decision deadline:
+        # after miss_window decisions the session must leave the online tier.
+        db = ProfileDatabase([AdversarialProfile.from_flow(simple_flow)])
+        config = ServeConfig(
+            size_scale=1460.0,
+            max_batch=1,
+            flush_timeout_ms=0.0,
+            deadline_ms=1.0,
+            miss_window=2,
+            miss_threshold=1.0,
+        )
+        server = make_server(policy, config, profile_db=db, clock=FakeClock(0.005))
+        sid = server.open_session("doomed")
+        for size, delay in zip(simple_flow.sizes, simple_flow.delays):
+            server.submit(sid, size, delay)
+            server.drain()
+        session = server.session(sid)
+        assert session.status == SessionStatus.DEMOTED
+        assert session.n_decisions >= 2  # the miss window had to fill first
+
+        # Packets submitted after demotion bypass the policy entirely.
+        decisions_at_demotion = session.n_decisions
+        server.submit(sid, 400.0, 3.0)
+        server.drain()
+        assert session.n_decisions == decisions_at_demotion
+
+        report = server.close_session(sid)
+        assert report.demoted
+        assert report.status == SessionStatus.DEMOTED
+        assert report.deadline_misses >= 2
+        # The undelivered payload was embedded into stored profiles.
+        assert report.profile_result is not None
+        assert report.profile_result.payload_bytes > 0
+        stats = summarize_stats(server.stats())
+        assert stats["profile_fallback_rate"] == 1.0
+        assert stats["deadline_miss_rate"] == 1.0
+
+    def test_demotion_without_database_still_tracks_fallback(self, policy, simple_flow):
+        config = ServeConfig(
+            size_scale=1460.0,
+            max_batch=1,
+            flush_timeout_ms=0.0,
+            deadline_ms=1.0,
+            miss_window=1,
+            miss_threshold=1.0,
+        )
+        server = make_server(policy, config, clock=FakeClock(0.005))
+        sid = server.open_session("x")
+        server.submit(sid, 600.0, 0.0)
+        server.drain()
+        report = server.close_session(sid)
+        assert report.demoted
+        assert report.profile_result is None
+        assert summarize_stats(server.stats())["profile_fallback_rate"] == 1.0
+
+    def test_operator_demotion_counts_in_stats(self, policy, serve_config):
+        # Demotion via the public FlowSession.demote() (not the deadline
+        # tracker) must show up in the fallback rate, both while the
+        # session is live and after it closes.
+        server = make_server(policy, serve_config)
+        sid = server.open_session("op")
+        server.submit(sid, 600.0, 0.0)
+        server.drain()
+        server.session(sid).demote()
+        assert summarize_stats(server.stats())["profile_fallback_rate"] == 1.0
+        report = server.close_session(sid)
+        assert report.demoted
+        assert summarize_stats(server.stats())["profile_fallback_rate"] == 1.0
+
+    def test_step_budget_closes_session(self, policy, simple_flow):
+        config = ServeConfig(
+            size_scale=1460.0, max_batch=2, flush_timeout_ms=0.0, max_steps_per_session=2
+        )
+        server = make_server(policy, config)
+        sid = server.open_session("b")
+        for size, delay in zip(simple_flow.sizes, simple_flow.delays):
+            server.submit(sid, size, delay)
+        server.drain()
+        report = server.close_session(sid)
+        assert report.n_decisions == 2
+        assert report.unserved_packets > 0
+
+    def test_closed_session_rejects_packets(self, policy, serve_config):
+        server = make_server(policy, serve_config)
+        sid = server.open_session()
+        session = server.session(sid)
+        server.close_session(sid)
+        with pytest.raises(RuntimeError):
+            session.enqueue(100.0, 0.0)
+        with pytest.raises(KeyError):
+            server.submit(sid, 100.0, 0.0)
+
+    def test_duplicate_session_id_rejected(self, policy, serve_config):
+        server = make_server(policy, serve_config)
+        server.open_session("dup")
+        with pytest.raises(ValueError):
+            server.open_session("dup")
+
+    def test_zero_size_packet_rejected_at_ingestion(self, policy, serve_config):
+        # A zero-size packet would arm a payload-less decision that blows
+        # up mid-flush and disturbs its batch-mates; reject it at submit.
+        server = make_server(policy, serve_config)
+        sid = server.open_session()
+        with pytest.raises(ValueError, match="non-zero"):
+            server.submit(sid, 0.0, 1.0)
+        server.submit(sid, 500.0, 0.0)  # session still serviceable
+        server.drain()
+        assert server.session(sid).n_decisions >= 1
+
+
+# --------------------------------------------------------------------- #
+# Batching invariants
+# --------------------------------------------------------------------- #
+class TestBatchingInvariants:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return SyntheticWorkload.generate(
+            n_sessions=6, arrival_rate_pps=800.0, max_packets=10, rng=21
+        )
+
+    def _shaped_flows(self, policy, workload, **overrides):
+        config = ServeConfig(size_scale=1460.0, flush_timeout_ms=0.0, **overrides)
+        server = make_server(policy, config)
+        run_workload(server, workload)
+        return {report.session_id: report.shaped_flow for report in server.reports()}
+
+    def test_decisions_invariant_to_batch_size(self, policy, workload):
+        """The acceptance contract: batched serving is bit-identical to the
+        one-session-at-a-time sequential path (row-consistent matmuls)."""
+        sequential = self._shaped_flows(policy, workload, max_batch=1)
+        for max_batch in (3, 16):
+            batched = self._shaped_flows(policy, workload, max_batch=max_batch)
+            assert set(batched) == set(sequential)
+            for session_id, flow in sequential.items():
+                assert np.array_equal(flow.sizes, batched[session_id].sizes)
+                assert np.array_equal(flow.delays, batched[session_id].delays)
+
+    def test_serving_matches_training_emulator(self, trained_dt_censor, normalizer, tor_splits, fast_config):
+        """Serving a flow emits bit-identically to ``Amoeba.attack``: the
+        deployment tier implements the same shaping the policy was trained
+        under, packet for packet, byte for byte."""
+        agent = Amoeba(
+            trained_dt_censor,
+            normalizer,
+            fast_config,
+            rng=0,
+            encoder_pretrain_kwargs={"n_flows": 20, "epochs": 1, "max_length": 10},
+        )
+        for index, flow in enumerate(tor_splits.test.censored_flows[:3]):
+            attack_result = agent.attack(flow, deterministic=True)
+            step_budget = max(
+                fast_config.max_episode_steps,
+                flow.n_packets * (1 + fast_config.max_truncations_per_packet),
+            )
+            config = ServeConfig.from_amoeba(
+                fast_config,
+                normalizer.size_scale,
+                max_batch=4,
+                flush_timeout_ms=0.0,
+                max_steps_per_session=step_budget,
+            )
+            server = PolicyServer(agent.actor, agent.state_encoder, config=config)
+            report = serve_flow(server, flow, session_id=f"flow{index}")
+            assert np.array_equal(
+                attack_result.adversarial_flow.sizes, report.shaped_flow.sizes
+            )
+            assert np.array_equal(
+                attack_result.adversarial_flow.delays, report.shaped_flow.delays
+            )
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint reconstruction
+# --------------------------------------------------------------------- #
+class TestCheckpointServing:
+    def _checkpoint(self, policy, tmp_path):
+        actor, encoder = policy
+        state = {}
+        for prefix, module in (("actor", actor), ("encoder", encoder)):
+            for name, value in module.state_dict().items():
+                state[f"{prefix}.{name}"] = value
+        path = tmp_path / "policy.npz"
+        save_state_dict(state, path)
+        return path, state
+
+    def test_from_checkpoint_serves_identically(self, policy, serve_config, tmp_path, simple_flow):
+        path, _ = self._checkpoint(policy, tmp_path)
+        direct = serve_flow(make_server(policy, serve_config), simple_flow)
+        loaded = PolicyServer.from_checkpoint(path, config=serve_config)
+        reloaded = serve_flow(loaded, simple_flow)
+        assert np.array_equal(direct.shaped_flow.sizes, reloaded.shaped_flow.sizes)
+        assert np.array_equal(direct.shaped_flow.delays, reloaded.shaped_flow.delays)
+
+    def test_architecture_inferred_from_shapes(self, policy, tmp_path):
+        path, state = self._checkpoint(policy, tmp_path)
+        actor, encoder = build_policy_from_state(state)
+        assert encoder.hidden_size == ENCODER_HIDDEN
+        assert encoder.num_layers == 2
+        assert actor.state_dim == 2 * ENCODER_HIDDEN
+        assert actor.action_dim == 2
+
+    def test_checkpoint_without_prefixes_rejected(self):
+        with pytest.raises(ValueError):
+            build_policy_from_state({"actor.log_std": np.zeros(2)})
+
+    def test_split_prefixed_state(self):
+        groups = split_prefixed_state({"a.x": 1, "a.y.z": 2, "b.w": 3})
+        assert groups == {"a": {"x": 1, "y.z": 2}, "b": {"w": 3}}
+        with pytest.raises(ValueError):
+            split_prefixed_state({"noprefix": 1})
+
+
+# --------------------------------------------------------------------- #
+# Sharded serving workers
+# --------------------------------------------------------------------- #
+@pytest.mark.skipif(sys.platform == "win32", reason="requires POSIX fork")
+class TestShardedServing:
+    def test_sharded_matches_single_process(self, policy, serve_config):
+        workload = SyntheticWorkload.generate(
+            n_sessions=5, arrival_rate_pps=600.0, max_packets=8, rng=33
+        )
+        single = make_server(policy, serve_config)
+        run_workload(single, workload)
+        single_flows = {r.session_id: r.shaped_flow for r in single.reports()}
+
+        def factory(_index):
+            return make_server(policy, serve_config)
+
+        with ShardedPolicyServer(factory, n_workers=2, submit_buffer=8) as sharded:
+            for session_id in workload.flows:
+                sharded.open_session(session_id)
+            for event in workload.events:
+                sharded.submit(event.session_id, event.size, event.delay_ms)
+            sharded.drain()
+            reports = sharded.close_all()
+            stats = sharded.stats()
+        sharded_flows = {r.session_id: r.shaped_flow for r in reports}
+        assert set(sharded_flows) == set(single_flows)
+        for session_id, flow in single_flows.items():
+            assert np.array_equal(flow.sizes, sharded_flows[session_id].sizes)
+            assert np.array_equal(flow.delays, sharded_flows[session_id].delays)
+        merged = summarize_stats(stats)
+        assert merged["decisions"] == summarize_stats(single.stats())["decisions"]
+
+    def test_worker_error_is_surfaced(self, policy, serve_config):
+        def factory(_index):
+            return make_server(policy, serve_config)
+
+        with ShardedPolicyServer(factory, n_workers=1) as sharded:
+            sharded.open_session("a")
+            with pytest.raises(RuntimeError, match="failed"):
+                # Unknown session inside the worker -> KeyError -> error reply.
+                sharded._ask(0, ("close_session", "ghost"))
+
+
+# --------------------------------------------------------------------- #
+# Load generator
+# --------------------------------------------------------------------- #
+class TestLoadgen:
+    def test_workload_schedule_is_sorted_and_complete(self):
+        workload = SyntheticWorkload.generate(
+            n_sessions=4, arrival_rate_pps=100.0, max_packets=6, rng=1
+        )
+        times = [event.time_ms for event in workload.events]
+        assert times == sorted(times)
+        assert workload.n_packets == sum(f.n_packets for f in workload.flows.values())
+        assert all(f.n_packets <= 6 for f in workload.flows.values())
+
+    def test_workload_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload.generate(n_sessions=2, mix={"smtp": 1.0}, rng=0)
+        with pytest.raises(ValueError):
+            SyntheticWorkload.generate(n_sessions=0, rng=0)
+
+    def test_run_workload_report(self, policy, serve_config):
+        workload = SyntheticWorkload.generate(
+            n_sessions=3, arrival_rate_pps=400.0, max_packets=6, rng=5
+        )
+        server = make_server(policy, serve_config)
+        report = run_workload(server, workload)
+        assert report.decisions >= workload.n_packets
+        assert report.decisions_per_s > 0
+        assert report.p99_latency_ms >= report.p50_latency_ms >= 0.0
+        assert report.profile_fallback_rate == 0.0
+        assert server.n_sessions == 0  # all sessions closed
