@@ -117,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "session to the offline profile tier")
     serve.add_argument("--workers", type=int, default=0,
                        help="shard sessions across this many forked serving workers (0 = in-process)")
+    serve.add_argument("--backend", choices=("blocked", "reference", "float32"), default=None,
+                       help="execution backend for policy forwards (default: process default; "
+                       "float32 trades the serve/attack bit-equivalence contract for speed)")
     serve.add_argument("--profiles", default=None,
                        help="JSONL of successful adversarial flows seeding the fallback profile database")
     serve.add_argument("--seed", type=int, default=0)
@@ -223,7 +226,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         flush_timeout_ms=args.flush_timeout_ms,
         deadline_ms=args.deadline_ms,
+        backend=args.backend,
     )
+    if args.backend:
+        print(f"execution backend: {args.backend}")
     profile_db = None
     if args.profiles:
         profile_flows = load_flows_jsonl(args.profiles)

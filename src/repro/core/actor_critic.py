@@ -6,6 +6,12 @@ action components (normalised packet size and extra delay); the log standard
 deviation is a learned, state-independent parameter vector, which is the
 standard PPO continuous-control parameterisation and implements the paper's
 reparameterisation trick ``a = mean + eps * sigma``.
+
+The batched inference paths (``act_batch`` / ``value_batch``) run under
+``nn.row_consistent_matmul()``, so their MLP forwards execute on the active
+:mod:`repro.nn.backend` kernel and each output row is bit-independent of
+the batch composition — the property the collection and serving tiers'
+bit-equivalence tests rely on.
 """
 
 from __future__ import annotations

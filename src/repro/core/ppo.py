@@ -20,7 +20,7 @@ from ..nn import functional as F
 from ..utils.rng import ensure_rng
 from .actor_critic import Critic, GaussianActor
 from .config import AmoebaConfig
-from .rollout import RolloutBuffer
+from .rollout import MinibatchScratch, RolloutBuffer
 
 __all__ = ["PPOUpdater", "PPOUpdateStats"]
 
@@ -45,13 +45,25 @@ class PPOUpdater:
         critic: Critic,
         config: AmoebaConfig,
         rng=None,
+        preallocate: bool = True,
     ) -> None:
         self.actor = actor
         self.critic = critic
         self.config = config
         self._rng = ensure_rng(rng)
-        self.actor_optimizer = nn.Adam(actor.parameters(), lr=config.learning_rate)
-        self.critic_optimizer = nn.Adam(critic.parameters(), lr=config.learning_rate)
+        self.preallocate = bool(preallocate)
+        self.actor_optimizer = nn.Adam(
+            actor.parameters(), lr=config.learning_rate, preallocate=self.preallocate
+        )
+        self.critic_optimizer = nn.Adam(
+            critic.parameters(), lr=config.learning_rate, preallocate=self.preallocate
+        )
+        # One scratch object serves every epoch of every update() call: the
+        # minibatch partition geometry is fixed by the config, so the buffers
+        # are allocated once and reused for the run's lifetime.
+        self._mb_scratch: Optional[MinibatchScratch] = (
+            MinibatchScratch() if self.preallocate else None
+        )
 
     def update(self, buffer: RolloutBuffer) -> PPOUpdateStats:
         """Run the clipped-surrogate update over the buffer's minibatches."""
@@ -63,7 +75,9 @@ class PPOUpdater:
         clip_fractions = []
 
         for _ in range(config.update_epochs):
-            for batch in buffer.minibatches(config.n_minibatches, rng=self._rng):
+            for batch in buffer.minibatches(
+                config.n_minibatches, rng=self._rng, scratch=self._mb_scratch
+            ):
                 states = nn.Tensor(batch.states)
                 advantages = nn.Tensor(batch.advantages)
                 returns = nn.Tensor(batch.returns)

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..utils.rng import ensure_rng
 
-__all__ = ["RolloutBuffer", "compute_gae"]
+__all__ = ["RolloutBuffer", "MinibatchScratch", "compute_gae"]
 
 
 def compute_gae(
@@ -73,6 +73,55 @@ class _Batch:
     log_probs: np.ndarray
     advantages: np.ndarray
     returns: np.ndarray
+
+
+class MinibatchScratch:
+    """Preallocated minibatch buffers reused across PPO update epochs.
+
+    :meth:`RolloutBuffer.minibatches` gathers each minibatch with fancy
+    indexing, which allocates five fresh arrays per minibatch per epoch —
+    on the PPO update's critical path that is ``update_epochs ×
+    n_minibatches × 5`` allocations per iteration for data whose shapes
+    never change.  Passing a ``MinibatchScratch`` makes the buffer gather
+    into preallocated per-slot arrays with ``np.take(..., out=...)``
+    instead: the slot shapes are fixed by ``(total, n_minibatches)`` (the
+    ``array_split`` partition is deterministic), so one scratch object
+    serves every epoch of every update for a given configuration.  It also
+    hosts the normalised-advantages buffer, letting the normalisation be
+    computed once per epoch without a fresh allocation.
+
+    The buffers are overwritten on each gather, so a batch is only valid
+    until the next one is drawn — exactly the lifetime the PPO update loop
+    needs (forward, backward and optimizer step complete before the next
+    minibatch is requested).  A scratch sized for a different ``(total,
+    n_minibatches)`` geometry is transparently rebuilt.
+    """
+
+    def __init__(self) -> None:
+        self._geometry: Optional[Tuple[int, int, int, int]] = None
+        self._slots: List[_Batch] = []
+        self.advantages: Optional[np.ndarray] = None
+
+    def prepare(
+        self, total: int, n_minibatches: int, state_dim: int, action_dim: int
+    ) -> List[_Batch]:
+        """Return per-slot batch buffers for the given partition geometry."""
+        geometry = (total, n_minibatches, state_dim, action_dim)
+        if self._geometry != geometry:
+            sizes = [len(split) for split in np.array_split(np.arange(total), n_minibatches)]
+            self._slots = [
+                _Batch(
+                    states=np.empty((size, state_dim)),
+                    actions=np.empty((size, action_dim)),
+                    log_probs=np.empty(size),
+                    advantages=np.empty(size),
+                    returns=np.empty(size),
+                )
+                for size in sizes
+            ]
+            self.advantages = np.empty(total)
+            self._geometry = geometry
+        return self._slots
 
 
 class RolloutBuffer:
@@ -157,7 +206,13 @@ class RolloutBuffer:
             self.rewards, self.values, self.dones, last_values, gamma, gae_lambda
         )
 
-    def minibatches(self, n_minibatches: int, rng=None, normalise_advantages: bool = True) -> Iterator[_Batch]:
+    def minibatches(
+        self,
+        n_minibatches: int,
+        rng=None,
+        normalise_advantages: bool = True,
+        scratch: Optional[MinibatchScratch] = None,
+    ) -> Iterator[_Batch]:
         """Yield shuffled minibatches over the flattened (T*N) samples.
 
         The ``T·N`` samples are partitioned into exactly ``n_minibatches``
@@ -165,6 +220,12 @@ class RolloutBuffer:
         statistics are never skewed by a runt batch when ``n_minibatches``
         does not divide ``T·N``.  When there are fewer samples than
         requested batches, each sample forms its own batch.
+
+        ``scratch`` (a :class:`MinibatchScratch`) makes every gather write
+        into preallocated buffers instead of allocating per minibatch; the
+        yielded values are then only valid until the next minibatch is
+        drawn.  Both paths consume the generator identically (one
+        ``permutation`` draw) and produce bitwise-identical batch contents.
         """
         rng = ensure_rng(rng)
         if n_minibatches < 1:
@@ -175,16 +236,41 @@ class RolloutBuffer:
         log_probs = self.log_probs.reshape(total)
         advantages = self.advantages.reshape(total)
         returns = self.returns.reshape(total)
+        n_splits = min(n_minibatches, total)
 
         if normalise_advantages:
-            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+            if scratch is not None:
+                slots = scratch.prepare(total, n_splits, self.state_dim, self.action_dim)
+                buffer = scratch.advantages
+                np.subtract(advantages, advantages.mean(), out=buffer)
+                buffer /= advantages.std() + 1e-8
+                advantages = buffer
+            else:
+                advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        elif scratch is not None:
+            slots = scratch.prepare(total, n_splits, self.state_dim, self.action_dim)
 
         order = rng.permutation(total)
-        for index in np.array_split(order, min(n_minibatches, total)):
-            yield _Batch(
-                states=states[index],
-                actions=actions[index],
-                log_probs=log_probs[index],
-                advantages=advantages[index],
-                returns=returns[index],
-            )
+        for slot_index, index in enumerate(np.array_split(order, n_splits)):
+            if scratch is not None:
+                # mode="clip" selects numpy's unchecked gather path (the
+                # default "raise" mode bounds-checks in a second pass and is
+                # measurably slower); permutation indices are always in range
+                # so clipping never actually engages.  The ndarray method is
+                # used rather than np.take — the functional wrapper adds two
+                # dispatch hops per call on this per-minibatch hot path.
+                batch = slots[slot_index]
+                states.take(index, axis=0, out=batch.states, mode="clip")
+                actions.take(index, axis=0, out=batch.actions, mode="clip")
+                log_probs.take(index, out=batch.log_probs, mode="clip")
+                advantages.take(index, out=batch.advantages, mode="clip")
+                returns.take(index, out=batch.returns, mode="clip")
+                yield batch
+            else:
+                yield _Batch(
+                    states=states[index],
+                    actions=actions[index],
+                    log_probs=log_probs[index],
+                    advantages=advantages[index],
+                    returns=returns[index],
+                )

@@ -9,7 +9,18 @@ Public surface:
 * Optimizers — :class:`SGD`, :class:`Adam`, :class:`RMSProp`.
 """
 
-from . import functional
+from . import backend, functional
+from .backend import (
+    ExecutionBackend,
+    active_backend,
+    available_backends,
+    compiled_kernel_available,
+    default_backend,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    use_backend,
+)
 from .conv import Conv1d, GlobalAveragePool1d, MaxPool1d
 from .init import kaiming_uniform, orthogonal, xavier_normal, xavier_uniform
 from .layers import (
@@ -59,6 +70,16 @@ __all__ = [
     "row_consistent_matmul",
     "is_row_consistent_matmul",
     "rc_matmul",
+    "backend",
+    "ExecutionBackend",
+    "active_backend",
+    "available_backends",
+    "compiled_kernel_available",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+    "use_backend",
     "functional",
     "Module",
     "Parameter",

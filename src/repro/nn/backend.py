@@ -1,0 +1,512 @@
+"""Pluggable execution backends for the ``repro.nn`` matmul core.
+
+Every inference-time matmul in this library funnels through
+:func:`repro.nn.rc_matmul`, whose row-consistent branch used to be a hard-coded
+``np.einsum`` call.  That einsum is the load-bearing numerical contract of the
+whole repository — each output row of ``X @ W`` accumulates over the reduction
+axis in strictly increasing ``k`` order with a separate multiply and add per
+term, so the ``i``-th row of a batched forward is bit-identical to a
+single-row forward.  Every equivalence tier (batched vs. sequential rollout,
+sharded collection, pipelined iteration 0, batched serving vs. ``max_batch=1``)
+rests on that property.  It is also the slowest matmul in the codebase: numpy's
+einsum kernel is unblocked and unvectorised compared to what the contract
+actually permits.
+
+This module turns the kernel choice into a small registry of **execution
+backends**, each owning three policies:
+
+* the 2-D matmul kernel used inside a :func:`repro.nn.row_consistent_matmul`
+  context (:meth:`ExecutionBackend.matmul2d`),
+* scratch/output-buffer allocation for that kernel
+  (:meth:`ExecutionBackend.empty`), and
+* the accumulation dtype (``compute_dtype``).
+
+Three backends ship by default:
+
+``reference``
+    The original ``np.einsum("ik,kh->ih", a, b)`` path, kept verbatim as the
+    testable oracle.  Row-consistent, ``float64``.
+
+``blocked`` (default)
+    A register-blocked C kernel compiled on first use (see
+    :data:`_KERNEL_SOURCE`) that performs the *identical* floating-point
+    operations in the identical per-element order as the reference einsum —
+    the k-loop is unrolled four wide with explicit sequential adds and
+    compiled with ``-ffp-contract=off``, so no fused-multiply-add or
+    reassociation can change a single bit.  The result is asserted against
+    the reference on a self-check battery at load time and in the test
+    suite; on any machine without a working C toolchain the backend silently
+    degrades to the einsum path (same bits, reference speed).  Row-consistent,
+    ``float64``, ~2–4× faster than the reference on rollout-shaped operands.
+
+``float32``
+    Opt-in inference mode for the serving tier: operands are cast to
+    ``float32`` and multiplied with BLAS, trading the bit-equivalence ladder
+    for raw speed.  The contract is *per-dtype*: decision streams are
+    reproducible for a fixed batch composition but not invariant to it, so
+    this backend must never be active during training or any equivalence
+    test.  Not row-consistent.
+
+Selection API::
+
+    nn.set_default_backend("blocked")        # process-wide default
+    with nn.use_backend("float32"):          # scoped override
+        server.flush()
+    nn.active_backend().name                 # introspection
+
+The ``REPRO_NN_BACKEND`` environment variable overrides the initial default
+(useful for CI A/B runs); ``REPRO_NN_KERNEL_CACHE`` relocates the compiled
+kernel cache (default: a ``repro-amoeba-kernels`` directory under the user
+cache dir, falling back to the system temp dir).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import importlib.machinery
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+import warnings
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "ExecutionBackend",
+    "ReferenceBackend",
+    "BlockedBackend",
+    "Float32Backend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "active_backend",
+    "default_backend",
+    "set_default_backend",
+    "use_backend",
+    "compiled_kernel_available",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Runtime-compiled C kernel
+# --------------------------------------------------------------------------- #
+# The kernel is a CPython extension rather than a ctypes library because the
+# matmuls it serves are small (a policy step is an (8, 134) @ (134, 64)): the
+# ~6 us of ctypes pointer-marshalling per call would swallow the win, while a
+# METH_VARARGS entry point costs well under a microsecond.
+#
+# Numerical contract (load-bearing): for each output element, terms are
+# accumulated over k in strictly increasing order, each term a separate IEEE
+# multiply and add.  The 4-wide unroll keeps that order — ``t += a0*b0[h];
+# t += a1*b1[h]; ...`` is the same chain of rounded operations the reference
+# einsum performs — and ``-ffp-contract=off`` forbids the compiler from fusing
+# any multiply/add pair.  Auto-vectorisation is safe because SIMD lanes run
+# across the *output* axis ``h``; the per-element reduction order is untouched.
+
+_KERNEL_MODULE_NAME = "_repro_rc_gemm"
+
+_KERNEL_SOURCE = r"""
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <numpy/arrayobject.h>
+
+/* Row-consistent f64 GEMM, bit-identical to np.einsum("ik,kh->ih", a, b):
+   strictly increasing k-order accumulation per output element, separate
+   multiply and add per term (no FMA contraction; see build flags). */
+static void rc_gemm_f64(const double *restrict a, const double *restrict b,
+                        double *restrict out,
+                        npy_intp rows, npy_intp inner, npy_intp cols) {
+    for (npy_intp i = 0; i < rows; ++i) {
+        const double *restrict arow = a + i * inner;
+        double *restrict orow = out + i * cols;
+        for (npy_intp h = 0; h < cols; ++h) orow[h] = 0.0;
+        npy_intp k = 0;
+        for (; k + 4 <= inner; k += 4) {
+            const double a0 = arow[k], a1 = arow[k + 1];
+            const double a2 = arow[k + 2], a3 = arow[k + 3];
+            const double *restrict b0 = b + k * cols;
+            const double *restrict b1 = b0 + cols;
+            const double *restrict b2 = b1 + cols;
+            const double *restrict b3 = b2 + cols;
+            for (npy_intp h = 0; h < cols; ++h) {
+                double t = orow[h];
+                t += a0 * b0[h];
+                t += a1 * b1[h];
+                t += a2 * b2[h];
+                t += a3 * b3[h];
+                orow[h] = t;
+            }
+        }
+        for (; k < inner; ++k) {
+            const double aik = arow[k];
+            const double *restrict brow = b + k * cols;
+            for (npy_intp h = 0; h < cols; ++h) orow[h] += aik * brow[h];
+        }
+    }
+}
+
+static PyObject *py_rc_gemm(PyObject *self, PyObject *args) {
+    PyObject *a_obj, *b_obj;
+    if (!PyArg_ParseTuple(args, "OO", &a_obj, &b_obj)) return NULL;
+    PyArrayObject *a =
+        (PyArrayObject *)PyArray_FROM_OTF(a_obj, NPY_DOUBLE, NPY_ARRAY_IN_ARRAY);
+    if (a == NULL) return NULL;
+    PyArrayObject *b =
+        (PyArrayObject *)PyArray_FROM_OTF(b_obj, NPY_DOUBLE, NPY_ARRAY_IN_ARRAY);
+    if (b == NULL) {
+        Py_DECREF(a);
+        return NULL;
+    }
+    if (PyArray_NDIM(a) != 2 || PyArray_NDIM(b) != 2 ||
+        PyArray_DIM(a, 1) != PyArray_DIM(b, 0)) {
+        Py_DECREF(a);
+        Py_DECREF(b);
+        PyErr_SetString(PyExc_ValueError, "rc_gemm expects (m, k) @ (k, n) arrays");
+        return NULL;
+    }
+    npy_intp dims[2] = {PyArray_DIM(a, 0), PyArray_DIM(b, 1)};
+    PyArrayObject *out = (PyArrayObject *)PyArray_SimpleNew(2, dims, NPY_DOUBLE);
+    if (out == NULL) {
+        Py_DECREF(a);
+        Py_DECREF(b);
+        return NULL;
+    }
+    rc_gemm_f64((const double *)PyArray_DATA(a), (const double *)PyArray_DATA(b),
+                (double *)PyArray_DATA(out), dims[0], PyArray_DIM(a, 1), dims[1]);
+    Py_DECREF(a);
+    Py_DECREF(b);
+    return (PyObject *)out;
+}
+
+static PyMethodDef rc_gemm_methods[] = {
+    {"rc_gemm", py_rc_gemm, METH_VARARGS,
+     "Row-consistent f64 GEMM, bit-identical to np.einsum('ik,kh->ih')."},
+    {NULL, NULL, 0, NULL}};
+
+static struct PyModuleDef rc_gemm_module = {
+    PyModuleDef_HEAD_INIT, "_repro_rc_gemm", NULL, -1, rc_gemm_methods};
+
+PyMODINIT_FUNC PyInit__repro_rc_gemm(void) {
+    import_array();
+    return PyModule_Create(&rc_gemm_module);
+}
+"""
+
+_BASE_CFLAGS = ["-O3", "-ffp-contract=off", "-fno-math-errno", "-shared", "-fPIC"]
+
+# Sentinel distinguishing "not attempted yet" from "attempted and failed".
+_UNSET = object()
+_KERNEL = _UNSET
+_KERNEL_ERROR: Optional[str] = None
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_NN_KERNEL_CACHE")
+    candidates = [override] if override else []
+    candidates.append(
+        os.path.join(
+            os.environ.get("XDG_CACHE_HOME", os.path.expanduser("~/.cache")),
+            "repro-amoeba-kernels",
+        )
+    )
+    candidates.append(os.path.join(tempfile.gettempdir(), "repro-amoeba-kernels"))
+    for candidate in candidates:
+        try:
+            os.makedirs(candidate, exist_ok=True)
+            return candidate
+        except OSError:
+            continue
+    raise OSError("no writable kernel cache directory")
+
+
+def _kernel_path() -> str:
+    tag = hashlib.sha256(
+        "\n".join(
+            [
+                _KERNEL_SOURCE,
+                " ".join(_BASE_CFLAGS),
+                sys.implementation.cache_tag,
+                np.__version__,
+            ]
+        ).encode()
+    ).hexdigest()[:16]
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return os.path.join(_cache_dir(), f"{_KERNEL_MODULE_NAME}_{tag}{suffix}")
+
+
+def _compile_kernel(target: str) -> None:
+    """Compile the kernel source to ``target`` (atomic via temp + rename)."""
+    compiler = os.environ.get("CC") or "cc"
+    includes = [
+        "-I" + sysconfig.get_paths()["include"],
+        "-I" + np.get_include(),
+    ]
+    build_dir = os.path.dirname(target)
+    source_path = os.path.join(build_dir, f"{_KERNEL_MODULE_NAME}.c")
+    with open(source_path, "w") as handle:
+        handle.write(_KERNEL_SOURCE)
+    temp_target = target + f".tmp{os.getpid()}"
+    # -march=native unlocks the wide SIMD units; retry without it for
+    # toolchains that reject the flag.  Neither attempt may enable FMA
+    # contraction — -ffp-contract=off is in the base flags.
+    for extra in (["-march=native"], []):
+        command = (
+            [compiler, *_BASE_CFLAGS, *extra, *includes, source_path, "-o", temp_target]
+        )
+        result = subprocess.run(command, capture_output=True, text=True, timeout=120)
+        if result.returncode == 0:
+            os.replace(temp_target, target)
+            return
+    raise RuntimeError(
+        f"kernel compilation failed: {result.stderr.strip().splitlines()[-1:] or result.stderr}"
+    )
+
+
+def _load_extension(path: str):
+    loader = importlib.machinery.ExtensionFileLoader(_KERNEL_MODULE_NAME, path)
+    spec = importlib.util.spec_from_file_location(_KERNEL_MODULE_NAME, path, loader=loader)
+    module = importlib.util.module_from_spec(spec)
+    loader.exec_module(module)
+    return module
+
+
+def _self_check(kernel) -> None:
+    """Assert the compiled kernel matches the reference einsum bit-for-bit.
+
+    Cheap insurance against a miscompiled or mis-flagged build: a handful of
+    shapes covering the unroll boundary (k % 4 ∈ {0, 1, 2, 3}), single rows,
+    and empty reductions.  Raises on the first mismatch.
+    """
+    rng = np.random.default_rng(20260807)
+    for rows, inner, cols in [(1, 5, 3), (3, 4, 7), (8, 134, 64), (5, 7, 2), (2, 0, 4)]:
+        a = rng.standard_normal((rows, inner))
+        b = rng.standard_normal((inner, cols))
+        expected = np.einsum("ik,kh->ih", a, b)
+        got = kernel.rc_gemm(a, b)
+        if not np.array_equal(got, expected):
+            raise RuntimeError(
+                f"compiled rc_gemm diverges from reference einsum at shape "
+                f"({rows}, {inner}) @ ({inner}, {cols})"
+            )
+
+
+def _ensure_kernel():
+    """Return the compiled kernel module, or ``None`` if unavailable.
+
+    The first call compiles (or loads a previously cached build of) the
+    extension; failures of any kind — no compiler, unwritable cache,
+    self-check mismatch — are recorded and the blocked backend permanently
+    degrades to the reference einsum for this process.
+    """
+    global _KERNEL, _KERNEL_ERROR
+    if _KERNEL is not _UNSET:
+        return _KERNEL
+    try:
+        path = _kernel_path()
+        if not os.path.exists(path):
+            _compile_kernel(path)
+        kernel = _load_extension(path)
+        _self_check(kernel)
+        _KERNEL = kernel
+    except Exception as exc:  # noqa: BLE001 - degrade, never break callers
+        _KERNEL = None
+        _KERNEL_ERROR = f"{type(exc).__name__}: {exc}"
+    return _KERNEL
+
+
+def compiled_kernel_available() -> bool:
+    """``True`` when the blocked backend is running its compiled kernel."""
+    return _ensure_kernel() is not None
+
+
+def compiled_kernel_error() -> Optional[str]:
+    """The reason the compiled kernel is unavailable (``None`` when loaded)."""
+    _ensure_kernel()
+    return _KERNEL_ERROR
+
+
+# --------------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------------- #
+class ExecutionBackend:
+    """One execution policy for the row-consistent matmul core.
+
+    Subclasses define the 2-D matmul kernel used inside a
+    :func:`repro.nn.row_consistent_matmul` context, the accumulation dtype,
+    and how scratch/output buffers are allocated.  ``row_consistent`` states
+    whether :meth:`matmul2d` output rows depend only on the corresponding
+    input row and the reduction length — the property the PR 1–5
+    bit-equivalence ladder requires of any backend active during training,
+    collection, or equivalence testing.
+    """
+
+    name: str = "abstract"
+    row_consistent: bool = False
+    compute_dtype = np.float64
+
+    def matmul2d(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Multiply two 2-D float64 arrays, returning a float64 array."""
+        raise NotImplementedError
+
+    def empty(self, shape) -> np.ndarray:
+        """Allocate a scratch/output buffer in this backend's compute dtype."""
+        return np.empty(shape, dtype=self.compute_dtype)
+
+    def describe(self) -> Dict[str, object]:
+        """Introspection payload (benchmarks embed this in their results)."""
+        return {
+            "name": self.name,
+            "row_consistent": self.row_consistent,
+            "compute_dtype": np.dtype(self.compute_dtype).name,
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ReferenceBackend(ExecutionBackend):
+    """The original einsum path — the oracle every fast path is tested against.
+
+    ``np.einsum("ik,kh->ih")`` accumulates each output element over ``k`` in
+    strictly increasing order with separate multiply/add rounding steps,
+    which is the numerical definition of the row-consistency contract.
+    """
+
+    name = "reference"
+    row_consistent = True
+
+    def matmul2d(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.einsum("ik,kh->ih", a, b)
+
+
+class BlockedBackend(ExecutionBackend):
+    """Register-blocked C kernel, bit-identical to the reference einsum.
+
+    Dispatches to the runtime-compiled extension when available and verified
+    (see :func:`compiled_kernel_available`), otherwise to the reference
+    einsum.  Because both kernels produce identical bits, the dispatch point
+    is invisible to every numerical contract — only the clock changes.
+    """
+
+    name = "blocked"
+    row_consistent = True
+
+    def matmul2d(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        kernel = _ensure_kernel()
+        if kernel is not None:
+            return kernel.rc_gemm(a, b)
+        return np.einsum("ik,kh->ih", a, b)
+
+    def describe(self) -> Dict[str, object]:
+        payload = super().describe()
+        payload["kernel"] = "compiled" if compiled_kernel_available() else "einsum-fallback"
+        return payload
+
+
+class Float32Backend(ExecutionBackend):
+    """Opt-in float32 inference mode (serving tier only).
+
+    Operands are cast to ``float32`` and multiplied with BLAS; the result is
+    widened back to ``float64`` so the surrounding Tensor machinery is
+    untouched.  Roughly twice the arithmetic throughput and half the memory
+    traffic of the float64 paths on wide serving batches, at the price of
+    the ladder: BLAS kernel selection varies with the batch shape, so output
+    rows are *not* invariant to batch composition.  The determinism contract
+    is per-dtype — a fixed request stream on a fixed batch schedule
+    reproduces, but batched and sequential schedules need not agree bitwise.
+    Never activate this backend during training or equivalence testing.
+    """
+
+    name = "float32"
+    row_consistent = False
+    compute_dtype = np.float32
+
+    def matmul2d(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a32 = np.asarray(a, dtype=np.float32)
+        b32 = np.asarray(b, dtype=np.float32)
+        out = self.empty((a32.shape[0], b32.shape[1]))
+        np.matmul(a32, b32, out=out)
+        return out.astype(np.float64)
+
+
+# --------------------------------------------------------------------------- #
+# Registry and selection
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, ExecutionBackend] = {}
+_DEFAULT: Optional[ExecutionBackend] = None
+_OVERRIDES: List[ExecutionBackend] = []
+
+
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Add ``backend`` to the registry (replacing any same-named entry)."""
+    if not backend.name or backend.name == "abstract":
+        raise ValueError("backend must define a concrete name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up a registered backend by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown execution backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def default_backend() -> ExecutionBackend:
+    """The process-wide default backend (active when no override is open)."""
+    return _DEFAULT
+
+
+def set_default_backend(name: str) -> ExecutionBackend:
+    """Set the process-wide default backend; returns the new default."""
+    global _DEFAULT
+    _DEFAULT = get_backend(name)
+    return _DEFAULT
+
+
+def active_backend() -> ExecutionBackend:
+    """The backend the next row-consistent matmul will execute on."""
+    if _OVERRIDES:
+        return _OVERRIDES[-1]
+    return _DEFAULT
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[ExecutionBackend]:
+    """Scoped backend override (nestable; innermost wins)."""
+    backend = get_backend(name)
+    _OVERRIDES.append(backend)
+    try:
+        yield backend
+    finally:
+        _OVERRIDES.pop()
+
+
+register_backend(ReferenceBackend())
+register_backend(BlockedBackend())
+register_backend(Float32Backend())
+
+_initial = os.environ.get("REPRO_NN_BACKEND", "blocked")
+if _initial not in _REGISTRY:
+    warnings.warn(
+        f"REPRO_NN_BACKEND={_initial!r} is not a registered backend; "
+        f"falling back to 'blocked'",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    _initial = "blocked"
+set_default_backend(_initial)

@@ -4,6 +4,12 @@ These free functions mirror the subset of ``torch.nn.functional`` that the
 Amoeba reproduction needs: activations, stable softmax / log-softmax,
 classification and regression losses, and the Gaussian log-density used by
 the PPO policy.
+
+Every matmul in the fused recurrent kernels below goes through
+:func:`repro.nn.tensor.rc_matmul`, the single execution-backend choke
+point: inside a ``row_consistent_matmul`` context the gate projections run
+on the active :mod:`repro.nn.backend` (the compiled blocked kernel by
+default) without any code here knowing which.
 """
 
 from __future__ import annotations

@@ -127,7 +127,12 @@ class Module:
 
 
 class Linear(Module):
-    """Fully connected layer ``y = x W + b``."""
+    """Fully connected layer ``y = x W + b``.
+
+    The ``x @ W`` product is a :meth:`Tensor.matmul`, which routes through
+    ``rc_matmul`` — inside a ``row_consistent_matmul`` context it executes
+    on the active :mod:`repro.nn.backend` kernel.
+    """
 
     def __init__(
         self,

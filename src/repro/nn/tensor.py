@@ -27,6 +27,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import backend as _backend
+
 __all__ = [
     "Tensor",
     "no_grad",
@@ -69,9 +71,11 @@ def row_consistent_matmul():
     BLAS picks different kernels (GEMV vs. GEMM, different micro-tilings)
     depending on the number of rows of the left operand, so the ``i``-th row
     of ``X @ W`` is generally *not* bit-identical to ``X[i:i+1] @ W``.  Inside
-    this context, 2-D matmul forwards are computed with ``np.einsum`` whose
-    per-element accumulation order depends only on the reduction length,
-    making each output row independent of how the batch is chunked.
+    this context, 2-D matmul forwards are executed by the active
+    :mod:`repro.nn.backend` kernel — the ``blocked`` default and the
+    ``reference`` einsum oracle both accumulate each output element over the
+    reduction axis in a fixed order, making each output row independent of
+    how the batch is chunked.
 
     The vectorized rollout engine runs policy/encoder inference under this
     context so that stepping ``N`` environments as one ``(N, d)`` forward is
@@ -97,16 +101,19 @@ def is_row_consistent_matmul() -> bool:
 def rc_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Raw-array 2-D matmul honouring :func:`row_consistent_matmul`.
 
-    The fused recurrent kernels in :mod:`repro.nn.functional` compute their
-    forwards directly on numpy arrays (bypassing :meth:`Tensor.matmul`), so
-    they route every gate projection through this helper to preserve the
-    batch-size-invariance contract: inside a :func:`row_consistent_matmul`
-    context each output row depends only on the reduction length, making a
-    hoisted ``(B·T, in)`` projection bit-identical, row for row, to the
-    per-step ``(B, in)`` projection the incremental ``step`` path performs.
+    This is the single choke point for every matmul forward in the library:
+    :meth:`Tensor.matmul` and all fused recurrent gate projections in
+    :mod:`repro.nn.functional` route through it.  Inside a
+    :func:`row_consistent_matmul` context the multiplication is delegated to
+    the active :class:`repro.nn.backend.ExecutionBackend` kernel, which owns
+    the accumulation-order, dtype and scratch-allocation policy; outside the
+    context the fast BLAS path is used unconditionally.  Routing everything
+    through one kernel is what makes backend swaps safe: no caller can hold
+    a stale private copy of the einsum branch whose bits could de-synchronise
+    from the rest of the library.
     """
     if _ROW_CONSISTENT_MATMUL and a.ndim == 2 and b.ndim == 2:
-        return np.einsum("ik,kh->ih", a, b)
+        return _backend.active_backend().matmul2d(a, b)
     return a @ b
 
 
@@ -419,10 +426,9 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def matmul(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        if _ROW_CONSISTENT_MATMUL and self.data.ndim == 2 and other.data.ndim == 2:
-            out_data = np.einsum("ik,kh->ih", self.data, other.data)
-        else:
-            out_data = self.data @ other.data
+        # The forward routes through rc_matmul — the shared backend choke
+        # point — rather than re-implementing the row-consistent branch here.
+        out_data = rc_matmul(self.data, other.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

@@ -28,6 +28,7 @@ deterministic policy served here emits the same adversarial packets as
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import time
 from collections import deque
@@ -40,6 +41,7 @@ from ..core.actor_critic import GaussianActor
 from ..core.config import AmoebaConfig
 from ..core.profiles import ProfileDatabase
 from ..core.state_encoder import StateEncoder
+from ..nn import backend as nn_backend
 from ..nn.serialization import load_state_dict, split_prefixed_state
 from ..utils.rng import ensure_rng
 from .scheduler import ContinuousBatchScheduler, DecisionRequest
@@ -67,6 +69,13 @@ class ServeConfig:
     whose recent decisions miss it too often (``miss_threshold`` over a
     ``miss_window`` sliding window) is demoted to the offline profile tier.
     ``deadline_ms=None`` disables demotion (pure throughput serving).
+
+    ``backend`` selects the :mod:`repro.nn.backend` execution backend the
+    server's forwards run on (``None`` inherits the process default).  The
+    row-consistent backends (``blocked``, ``reference``) preserve the
+    bit-equivalence contract between serving and ``Amoeba.attack``; the
+    ``float32`` backend trades that contract for raw speed and is therefore
+    strictly opt-in.
     """
 
     size_scale: float = 1460.0
@@ -87,9 +96,18 @@ class ServeConfig:
     # served (and stats() ships this window over worker pipes).
     latency_history: int = 4096
 
+    # Execution backend for the server's matmul forwards; None inherits the
+    # process-wide default (repro.nn.backend).
+    backend: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.latency_history < 1:
             raise ValueError("latency_history must be >= 1")
+        if self.backend is not None and self.backend not in nn_backend.available_backends():
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"available: {nn_backend.available_backends()}"
+            )
         if self.size_scale <= 0:
             raise ValueError("size_scale must be positive")
         if self.max_batch < 1:
@@ -244,6 +262,13 @@ class PolicyServer:
             max_batch=self.config.max_batch,
             flush_timeout_ms=self.config.flush_timeout_ms,
         )
+        # Resolve the configured backend eagerly so a bad name fails at
+        # construction, not mid-flush.
+        self._backend: Optional[nn_backend.ExecutionBackend] = (
+            nn_backend.get_backend(self.config.backend)
+            if self.config.backend is not None
+            else None
+        )
         self._sessions: Dict[str, FlowSession] = {}
         self._session_counter = itertools.count()
         self._outbox: List[ShapingDecision] = []
@@ -277,6 +302,17 @@ class PolicyServer:
         return cls(
             actor, encoder, config=config, profile_db=profile_db, clock=clock, rng=rng
         )
+
+    def _backend_scope(self):
+        """Scoped backend override for the server's forwards (no-op if unset)."""
+        if self._backend is None:
+            return contextlib.nullcontext()
+        return nn_backend.use_backend(self._backend.name)
+
+    def backend_description(self) -> str:
+        """Human-readable description of the backend the forwards run on."""
+        backend = self._backend if self._backend is not None else nn_backend.active_backend()
+        return backend.describe()
 
     # ------------------------------------------------------------------ #
     # Session lifecycle
@@ -407,15 +443,17 @@ class PolicyServer:
             observations = np.stack(
                 [live[row][1].current_observation() for row in fold_rows]
             )
-            folded = self.encoder.step_pairs(
-                observations, [live[row][1].observation_state for row in fold_rows]
-            )
+            with self._backend_scope():
+                folded = self.encoder.step_pairs(
+                    observations, [live[row][1].observation_state for row in fold_rows]
+                )
             for row, state in zip(fold_rows, folded):
                 live[row][1].mark_observation_folded(state)
 
         # 2) One deterministic policy forward for the whole batch.
         states = np.stack([session.state_vector() for _, session in live])
-        actions, _ = self.actor.act_batch(states, deterministic=True)
+        with self._backend_scope():
+            actions, _ = self.actor.act_batch(states, deterministic=True)
 
         # 3) Apply actions through the per-session emulator.
         now = self._clock()
@@ -431,9 +469,10 @@ class PolicyServer:
 
         # 4) Fold the emitted actions (one batched GRU step).
         recorded = np.stack([decision.recorded_action for decision in decisions])
-        folded_actions = self.encoder.step_pairs(
-            recorded, [session.action_state for _, session in live]
-        )
+        with self._backend_scope():
+            folded_actions = self.encoder.step_pairs(
+                recorded, [session.action_state for _, session in live]
+            )
         for (_, session), state in zip(live, folded_actions):
             session.mark_action_folded(state)
 

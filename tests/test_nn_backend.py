@@ -1,0 +1,468 @@
+"""Execution-backend tier tests (repro.nn.backend).
+
+Three families of guarantees:
+
+* **Registry mechanics** — lookup, default selection, scoped overrides.
+* **The bit-equivalence contract** — the blocked backend must be
+  bit-identical to the reference einsum on every shape (including the
+  kernel's k-unroll boundaries) and must satisfy the row-consistency
+  property (output rows invariant to batch composition); the float32
+  backend is close-but-not-contractual and must say so.
+* **Preallocated execution paths** — in-place optimizer steps, in-place
+  ``clip_grad_norm`` and the PPO minibatch scratch must replay exactly the
+  same floating-point trajectory as their allocating baselines.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import backend as nnb
+from repro.nn.tensor import Tensor, rc_matmul
+
+
+def _pairs(rng, shapes):
+    for rows, inner, cols in shapes:
+        yield rng.standard_normal((rows, inner)), rng.standard_normal((inner, cols))
+
+
+# Shapes straddling the kernel's 4-wide k-unroll boundary (k % 4 in
+# {0, 1, 2, 3}), single rows/cols, empty reduction, and rollout-sized blocks.
+SHAPES = [
+    (1, 1, 1),
+    (1, 4, 1),
+    (2, 5, 3),
+    (3, 6, 2),
+    (4, 7, 5),
+    (8, 8, 8),
+    (1, 3, 64),
+    (7, 134, 33),
+    (64, 34, 64),
+    (128, 64, 2),
+    (2, 0, 4),
+    (0, 5, 3),
+]
+
+
+class TestRegistry:
+    def test_three_backends_registered(self):
+        assert {"reference", "blocked", "float32"} <= set(nnb.available_backends())
+
+    def test_get_backend_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown execution backend"):
+            nnb.get_backend("no-such-backend")
+
+    def test_register_rejects_unnamed(self):
+        with pytest.raises(ValueError):
+            nnb.register_backend(nnb.ExecutionBackend())
+
+    def test_default_is_blocked(self):
+        assert nnb.default_backend().name == "blocked"
+
+    def test_use_backend_scopes_and_nests(self):
+        outer = nnb.active_backend().name
+        with nnb.use_backend("reference") as ref:
+            assert ref.name == "reference"
+            assert nnb.active_backend().name == "reference"
+            with nnb.use_backend("float32"):
+                assert nnb.active_backend().name == "float32"
+            assert nnb.active_backend().name == "reference"
+        assert nnb.active_backend().name == outer
+
+    def test_use_backend_restores_on_exception(self):
+        before = nnb.active_backend().name
+        with pytest.raises(RuntimeError):
+            with nnb.use_backend("reference"):
+                raise RuntimeError("boom")
+        assert nnb.active_backend().name == before
+
+    def test_set_default_backend_roundtrip(self):
+        original = nnb.default_backend().name
+        try:
+            assert nnb.set_default_backend("reference").name == "reference"
+            assert nnb.active_backend().name == "reference"
+        finally:
+            nnb.set_default_backend(original)
+
+    def test_describe_payloads(self):
+        blocked = nnb.get_backend("blocked").describe()
+        assert blocked["row_consistent"] is True
+        assert blocked["kernel"] in ("compiled", "einsum-fallback")
+        f32 = nnb.get_backend("float32").describe()
+        assert f32["row_consistent"] is False
+        assert f32["compute_dtype"] == "float32"
+
+    def test_kernel_error_reporting_is_consistent(self):
+        if nnb.compiled_kernel_available():
+            assert nnb.compiled_kernel_error() is None
+        else:
+            assert isinstance(nnb.compiled_kernel_error(), str)
+
+
+class TestBlockedEqualsReference:
+    def test_bit_identical_across_shapes(self):
+        rng = np.random.default_rng(0)
+        ref = nnb.get_backend("reference")
+        blocked = nnb.get_backend("blocked")
+        for a, b in _pairs(rng, SHAPES):
+            expected = ref.matmul2d(a, b)
+            got = blocked.matmul2d(a, b)
+            assert got.dtype == np.float64
+            assert np.array_equal(got, expected), (a.shape, b.shape)
+
+    def test_bit_identical_on_extreme_magnitudes(self):
+        rng = np.random.default_rng(1)
+        ref = nnb.get_backend("reference")
+        blocked = nnb.get_backend("blocked")
+        a = rng.standard_normal((9, 37)) * 10.0 ** rng.integers(-150, 150, size=(9, 37))
+        b = rng.standard_normal((37, 11)) * 10.0 ** rng.integers(-150, 150, size=(37, 11))
+        assert np.array_equal(blocked.matmul2d(a, b), ref.matmul2d(a, b))
+
+    def test_row_consistency_under_batch_splits(self):
+        """Any partition of the rows reproduces the full-batch result bitwise."""
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((17, 23))
+        b = rng.standard_normal((23, 9))
+        for name in ("reference", "blocked"):
+            backend = nnb.get_backend(name)
+            full = backend.matmul2d(a, b)
+            for n_chunks in (1, 2, 3, 5, 17):
+                parts = [
+                    backend.matmul2d(chunk, b)
+                    for chunk in np.array_split(a, n_chunks, axis=0)
+                ]
+                assert np.array_equal(np.concatenate(parts, axis=0), full), (name, n_chunks)
+
+    def test_row_consistency_single_row_extraction(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((13, 31))
+        b = rng.standard_normal((31, 6))
+        for name in ("reference", "blocked"):
+            backend = nnb.get_backend(name)
+            full = backend.matmul2d(a, b)
+            for row in range(13):
+                assert np.array_equal(backend.matmul2d(a[row : row + 1], b)[0], full[row])
+
+    def test_blocked_einsum_fallback_matches_reference(self, monkeypatch):
+        """With the compiled kernel disabled, blocked degrades to identical bits."""
+        monkeypatch.setattr(nnb, "_KERNEL", None)
+        monkeypatch.setattr(nnb, "_KERNEL_ERROR", "forced by test")
+        blocked = nnb.get_backend("blocked")
+        assert blocked.describe()["kernel"] == "einsum-fallback"
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((6, 19))
+        b = rng.standard_normal((19, 5))
+        assert np.array_equal(blocked.matmul2d(a, b), np.einsum("ik,kh->ih", a, b))
+
+    def test_compiled_kernel_rejects_bad_shapes(self):
+        if not nnb.compiled_kernel_available():
+            pytest.skip("compiled kernel unavailable")
+        kernel = nnb._ensure_kernel()
+        with pytest.raises((ValueError, TypeError)):
+            kernel.rc_gemm(np.zeros((2, 3)), np.zeros((4, 5)))
+        with pytest.raises((ValueError, TypeError)):
+            kernel.rc_gemm(np.zeros(3), np.zeros((3, 2)))
+
+    def test_compiled_kernel_accepts_noncontiguous_views(self):
+        """Strided inputs produce the same bits as their contiguous copies."""
+        if not nnb.compiled_kernel_available():
+            pytest.skip("compiled kernel unavailable")
+        kernel = nnb._ensure_kernel()
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((8, 20))[::2, ::2]  # (4, 10) strided view
+        w = rng.standard_normal((10, 3))
+        w_strided = np.asfortranarray(w)
+        expected = np.einsum("ik,kh->ih", np.ascontiguousarray(a), w)
+        assert np.array_equal(kernel.rc_gemm(a, w), expected)
+        assert np.array_equal(kernel.rc_gemm(a, w_strided), expected)
+
+
+class TestFloat32Backend:
+    def test_returns_float64_and_is_close(self):
+        rng = np.random.default_rng(6)
+        f32 = nnb.get_backend("float32")
+        ref = nnb.get_backend("reference")
+        a = rng.standard_normal((12, 40))
+        b = rng.standard_normal((40, 8))
+        got = f32.matmul2d(a, b)
+        assert got.dtype == np.float64
+        np.testing.assert_allclose(got, ref.matmul2d(a, b), rtol=1e-4, atol=1e-4)
+
+    def test_not_row_consistent_flag(self):
+        assert nnb.get_backend("float32").row_consistent is False
+
+    def test_empty_allocates_compute_dtype(self):
+        assert nnb.get_backend("float32").empty((3, 2)).dtype == np.float32
+        assert nnb.get_backend("blocked").empty((3, 2)).dtype == np.float64
+
+
+class TestTensorRouting:
+    def test_rc_matmul_routes_through_active_backend(self):
+        calls = []
+
+        class Probe(nnb.ExecutionBackend):
+            name = "probe-test"
+            row_consistent = True
+
+            def matmul2d(self, a, b):
+                calls.append((a.shape, b.shape))
+                return np.einsum("ik,kh->ih", a, b)
+
+        nnb.register_backend(Probe())
+        try:
+            a = np.ones((2, 3))
+            b = np.ones((3, 4))
+            with nn.row_consistent_matmul(), nnb.use_backend("probe-test"):
+                rc_matmul(a, b)
+            assert calls == [((2, 3), (3, 4))]
+        finally:
+            nnb._REGISTRY.pop("probe-test", None)
+
+    def test_tensor_matmul_uses_backend_inside_rc_context(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(rng.standard_normal((5, 8)), requires_grad=True)
+        w = Tensor(rng.standard_normal((8, 3)), requires_grad=True)
+        with nn.row_consistent_matmul():
+            with nnb.use_backend("reference"):
+                ref = (x @ w).data.copy()
+            with nnb.use_backend("blocked"):
+                blk = (x @ w).data.copy()
+        assert np.array_equal(ref, blk)
+
+    def test_gradients_flow_under_blocked_backend(self):
+        rng = np.random.default_rng(8)
+        x = Tensor(rng.standard_normal((4, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((6, 2)), requires_grad=True)
+        with nn.row_consistent_matmul(), nnb.use_backend("blocked"):
+            loss = (x @ w).sum()
+            loss.backward()
+        assert x.grad is not None and w.grad is not None
+        np.testing.assert_allclose(w.grad, x.data.sum(axis=0, keepdims=True).T @ np.ones((1, 2)))
+
+    def test_outside_rc_context_backend_not_consulted(self):
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        with nnb.use_backend("float32"):
+            out = rc_matmul(a, b)  # no rc context: plain float64 BLAS
+        assert np.array_equal(out, a @ b)
+
+    def test_linear_layer_batch_invariance_under_blocked(self):
+        layer = nn.Linear(10, 4, rng=np.random.default_rng(10))
+        x = np.random.default_rng(11).standard_normal((9, 10))
+        with nn.no_grad(), nn.row_consistent_matmul(), nnb.use_backend("blocked"):
+            full = layer(Tensor(x)).data
+            rows = np.concatenate(
+                [layer(Tensor(x[i : i + 1])).data for i in range(9)], axis=0
+            )
+        assert np.array_equal(full, rows)
+
+
+class TestPreallocatedOptimizers:
+    @staticmethod
+    def _train(optimizer_cls, preallocate, steps=40, seed=12, **kwargs):
+        rng = np.random.default_rng(seed)
+        layer = nn.Linear(7, 3, rng=np.random.default_rng(0))
+        opt = optimizer_cls(layer.parameters(), preallocate=preallocate, **kwargs)
+        for _ in range(steps):
+            x = Tensor(rng.standard_normal((5, 7)))
+            target = rng.standard_normal((5, 3))
+            opt.zero_grad()
+            loss = ((layer(x) - Tensor(target)) ** 2).mean()
+            loss.backward()
+            nn.clip_grad_norm(layer.parameters(), 0.5)
+            opt.step()
+        return [p.data.copy() for p in layer.parameters()]
+
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (nn.SGD, {"lr": 0.05}),
+            (nn.SGD, {"lr": 0.05, "momentum": 0.9}),
+            (nn.Adam, {"lr": 1e-3}),
+            (nn.Adam, {"lr": 1e-3, "weight_decay": 0.01}),
+            (nn.RMSProp, {"lr": 1e-3}),
+        ],
+    )
+    def test_preallocated_step_bitwise_equals_allocating(self, cls, kwargs):
+        baseline = self._train(cls, preallocate=False, **kwargs)
+        fast = self._train(cls, preallocate=True, **kwargs)
+        for p_base, p_fast in zip(baseline, fast):
+            assert np.array_equal(p_base, p_fast)
+
+    def test_preallocated_step_mutates_in_place(self):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(1))
+        opt = nn.Adam(layer.parameters(), lr=1e-3, preallocate=True)
+        buffers = [p.data for p in layer.parameters()]
+        x = Tensor(np.random.default_rng(2).standard_normal((3, 4)))
+        loss = layer(x).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        for param, buf in zip(layer.parameters(), buffers):
+            assert param.data is buf
+
+    def test_clip_grad_norm_scales_in_place(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(3))
+        x = Tensor(np.full((4, 3), 100.0))
+        (layer(x) ** 2).sum().backward()
+        grads_before = [p.grad for p in layer.parameters()]
+        norm = nn.clip_grad_norm(layer.parameters(), 1e-3)
+        assert norm > 1e-3
+        for p, g in zip(layer.parameters(), grads_before):
+            assert p.grad is g  # same buffer, scaled in place
+        total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in layer.parameters())))
+        assert total == pytest.approx(1e-3, rel=1e-9)
+
+    def test_clip_grad_norm_noop_below_threshold(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(4))
+        x = Tensor(np.full((1, 3), 1e-6))
+        layer(x).sum().backward()
+        snapshot = [p.grad.copy() for p in layer.parameters()]
+        nn.clip_grad_norm(layer.parameters(), 1e9)
+        for p, snap in zip(layer.parameters(), snapshot):
+            assert np.array_equal(p.grad, snap)
+
+
+class TestMinibatchScratch:
+    @staticmethod
+    def _filled_buffer(seed=20, length=8, n_envs=3, state_dim=6, action_dim=2):
+        from repro.core.rollout import RolloutBuffer
+
+        buf = RolloutBuffer(length, n_envs, state_dim, action_dim)
+        r = np.random.default_rng(seed)
+        for _ in range(length):
+            buf.add(
+                r.normal(size=(n_envs, state_dim)),
+                r.normal(size=(n_envs, action_dim)),
+                r.normal(size=n_envs),
+                r.normal(size=n_envs),
+                r.normal(size=n_envs),
+                r.random(n_envs) < 0.1,
+            )
+        buf.finalize(r.normal(size=n_envs), 0.99, 0.95)
+        return buf
+
+    @pytest.mark.parametrize("n_minibatches", [1, 3, 4, 7, 24, 100])
+    @pytest.mark.parametrize("normalise", [True, False])
+    def test_scratch_batches_bitwise_equal_allocating(self, n_minibatches, normalise):
+        from repro.core.rollout import MinibatchScratch
+
+        buf = self._filled_buffer()
+        scratch = MinibatchScratch()
+        base = list(
+            buf.minibatches(
+                n_minibatches, rng=np.random.default_rng(0), normalise_advantages=normalise
+            )
+        )
+        fast = [
+            # Copy: scratch slots are reused, so materialise each on arrival.
+            {f: getattr(b, f).copy() for f in ("states", "actions", "log_probs", "advantages", "returns")}
+            for b in buf.minibatches(
+                n_minibatches,
+                rng=np.random.default_rng(0),
+                normalise_advantages=normalise,
+                scratch=scratch,
+            )
+        ]
+        assert len(base) == len(fast)
+        for b, f in zip(base, fast):
+            for field in f:
+                assert np.array_equal(getattr(b, field), f[field]), field
+
+    def test_scratch_slots_are_reused_across_epochs(self):
+        from repro.core.rollout import MinibatchScratch
+
+        buf = self._filled_buffer()
+        scratch = MinibatchScratch()
+        first = [b.states for b in buf.minibatches(4, rng=np.random.default_rng(0), scratch=scratch)]
+        second = [b.states for b in buf.minibatches(4, rng=np.random.default_rng(1), scratch=scratch)]
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_scratch_rebuilds_on_geometry_change(self):
+        from repro.core.rollout import MinibatchScratch
+
+        scratch = MinibatchScratch()
+        slots_a = scratch.prepare(24, 4, 6, 2)
+        assert scratch.prepare(24, 4, 6, 2) is slots_a
+        slots_b = scratch.prepare(24, 3, 6, 2)
+        assert slots_b is not slots_a
+        assert [len(s.states) for s in slots_b] == [8, 8, 8]
+
+    def test_ppo_updater_preallocated_equals_allocating(self):
+        from repro.core.actor_critic import Critic, GaussianActor
+        from repro.core.config import AmoebaConfig
+        from repro.core.ppo import PPOUpdater
+
+        def run(preallocate):
+            cfg = AmoebaConfig(rollout_length=8, n_envs=3, n_minibatches=3, update_epochs=2)
+            actor = GaussianActor(6, 2, hidden_dims=(12,), rng=np.random.default_rng(1))
+            critic = Critic(6, hidden_dims=(12,), rng=np.random.default_rng(2))
+            updater = PPOUpdater(
+                actor, critic, cfg, rng=np.random.default_rng(3), preallocate=preallocate
+            )
+            buf = self._filled_buffer(seed=30, length=8, n_envs=3)
+            stats = [updater.update(buf), updater.update(buf)]
+            params = [
+                p.data.copy()
+                for p in list(actor.parameters()) + list(critic.parameters())
+            ]
+            return stats, params
+
+        stats_base, params_base = run(False)
+        stats_fast, params_fast = run(True)
+        assert stats_base == stats_fast
+        for a, b in zip(params_base, params_fast):
+            assert np.array_equal(a, b)
+
+
+class TestServingBackendSelection:
+    def test_serve_config_validates_backend(self):
+        from repro.serve import ServeConfig
+
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            ServeConfig(backend="not-a-backend")
+
+    def test_server_decisions_identical_across_rc_backends(self):
+        from repro.core.actor_critic import GaussianActor
+        from repro.core.state_encoder import StateEncoder
+        from repro.serve import PolicyServer, ServeConfig
+
+        encoder = StateEncoder(hidden_size=8, num_layers=1, rng=np.random.default_rng(0))
+        encoder.eval()
+        actor = GaussianActor(16, 2, hidden_dims=(8,), rng=np.random.default_rng(1))
+
+        def run(backend):
+            server = PolicyServer(
+                actor, encoder, config=ServeConfig(max_batch=4, backend=backend),
+                clock=lambda: 0.0,
+            )
+            for i in range(4):
+                server.open_session(f"s{i}")
+                server.submit(f"s{i}", 500.0 + 10 * i, 1.0)
+            return [
+                (d.session_id, d.recorded_action.tobytes()) for d in server.drain()
+            ]
+
+        blocked = run("blocked")
+        assert blocked == run("reference")
+        assert blocked == run(None)
+
+    def test_server_float32_backend_serves(self):
+        from repro.core.actor_critic import GaussianActor
+        from repro.core.state_encoder import StateEncoder
+        from repro.serve import PolicyServer, ServeConfig
+
+        encoder = StateEncoder(hidden_size=8, num_layers=1, rng=np.random.default_rng(0))
+        encoder.eval()
+        actor = GaussianActor(16, 2, hidden_dims=(8,), rng=np.random.default_rng(1))
+        server = PolicyServer(
+            actor, encoder, config=ServeConfig(max_batch=4, backend="float32"),
+            clock=lambda: 0.0,
+        )
+        assert server.backend_description()["name"] == "float32"
+        server.open_session("s0")
+        server.submit("s0", 700.0, 1.0)
+        decisions = server.drain()
+        assert decisions and all(np.isfinite(d.recorded_action).all() for d in decisions)
