@@ -14,6 +14,9 @@ without writing Python:
   live-traffic workload through the continuous-batching serving tier,
   reporting decisions/s, decision-latency percentiles and the
   profile-fallback rate;
+* ``repro-amoeba backends`` — print the execution-backend diagnostic: which
+  backends are registered, whether the compiled GEMM / fused-cell kernels
+  loaded, the compile error if they did not, and the thread configuration;
 * ``repro-amoeba info`` — print the library version and experiment index.
 
 Examples
@@ -29,6 +32,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -124,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL of successful adversarial flows seeding the fallback profile database")
     serve.add_argument("--seed", type=int, default=0)
 
+    subparsers.add_parser(
+        "backends", help="print the execution-backend diagnostic (kernels, threads, fallbacks)"
+    )
     subparsers.add_parser("info", help="print version and experiment index")
     return parser
 
@@ -286,6 +293,45 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_backends(_: argparse.Namespace) -> int:
+    """Execution-backend diagnostic: kernels, threads, fallback reasons.
+
+    This is the operational surface for the one-time einsum-fallback warning:
+    when the compiled kernel (or the fused-cell kernel) failed to build, the
+    exact compiler/loader error is reproduced here.
+    """
+    from .nn import backend as nn_backend
+
+    active = nn_backend.active_backend()
+    print(f"registered backends: {', '.join(nn_backend.available_backends())}")
+    print(f"default backend:     {nn_backend.default_backend().name}")
+    print(f"active backend:      {active.name}")
+    print(f"threads:             {nn_backend.num_threads()} "
+          f"(REPRO_NN_THREADS; cpu_count={os.cpu_count()})")
+
+    if nn_backend.compiled_kernel_available():
+        print("rc-GEMM kernel:      compiled (threaded row-partitioned C extension)")
+    else:
+        print("rc-GEMM kernel:      einsum fallback (row-consistent, slower)")
+        error = nn_backend.compiled_kernel_error()
+        if error:
+            print(f"  compile error: {error}")
+    if nn_backend.fused_cells_available():
+        print("fused-cell kernels:  compiled (gru_gates / lstm_gates)")
+    else:
+        print("fused-cell kernels:  numpy fallback")
+        error = nn_backend.fused_cells_error()
+        if error:
+            print(f"  compile error: {error}")
+
+    print("per-backend describe():")
+    for name in nn_backend.available_backends():
+        description = nn_backend.get_backend(name).describe()
+        details = ", ".join(f"{key}={value}" for key, value in sorted(description.items()))
+        print(f"  {name}: {details}")
+    return 0
+
+
 def _command_info(_: argparse.Namespace) -> int:
     print(f"repro {__version__} — reproduction of Amoeba (CoNEXT 2023)")
     print("experiments: see DESIGN.md (per-experiment index) and EXPERIMENTS.md (paper vs measured)")
@@ -301,6 +347,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evaluate-censors": _command_evaluate_censors,
         "attack": _command_attack,
         "serve": _command_serve,
+        "backends": _command_backends,
         "info": _command_info,
     }
     return handlers[args.command](args)

@@ -15,10 +15,15 @@ from .backend import (
     active_backend,
     available_backends,
     compiled_kernel_available,
+    compiled_kernel_error,
     default_backend,
+    fused_cells_available,
+    fused_cells_error,
     get_backend,
+    num_threads,
     register_backend,
     set_default_backend,
+    set_num_threads,
     use_backend,
 )
 from .conv import Conv1d, GlobalAveragePool1d, MaxPool1d
@@ -75,10 +80,15 @@ __all__ = [
     "active_backend",
     "available_backends",
     "compiled_kernel_available",
+    "compiled_kernel_error",
     "default_backend",
+    "fused_cells_available",
+    "fused_cells_error",
     "get_backend",
+    "num_threads",
     "register_backend",
     "set_default_backend",
+    "set_num_threads",
     "use_backend",
     "functional",
     "Module",

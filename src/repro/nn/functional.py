@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import backend as _backend
 from .tensor import Tensor, as_tensor, is_grad_enabled, rc_matmul
 
 __all__ = [
@@ -183,12 +184,13 @@ def stable_sigmoid(x: np.ndarray) -> np.ndarray:
 # composed forwards are therefore bit-identical, and inside a
 # ``row_consistent_matmul()`` context the step and sequence paths are
 # bit-identical to each other regardless of batch/time chunking.
-
-
-def _sigmoid_np(x: np.ndarray) -> np.ndarray:
-    # Deliberately the exact expression used by Tensor.sigmoid so fused and
-    # composed forwards stay bit-identical.
-    return 1.0 / (1.0 + np.exp(-x))
+#
+# The gate elementwise math itself is owned by the active execution backend
+# (``active_backend().gru_gates`` / ``.lstm_gates``): the `reference` backend
+# runs the original numpy expressions, the default `blocked` backend runs
+# compiled kernels that are self-checked bit-identical to them.  Only the
+# forwards dispatch — the cached activations come back from the backend and
+# the closed-form backwards below stay plain numpy.
 
 
 def gru_cell(x: Tensor, hidden: Tensor, w_x: Tensor, w_h: Tensor, b: Tensor) -> Tensor:
@@ -209,12 +211,9 @@ def gru_cell(x: Tensor, hidden: Tensor, w_x: Tensor, w_h: Tensor, b: Tensor) -> 
 
     gx = rc_matmul(x.data, w_x.data)
     gh = rc_matmul(hidden.data, w_h.data)
-    pre_rz = gx[:, : 2 * size] + gh[:, : 2 * size] + b.data[: 2 * size]
-    reset = _sigmoid_np(pre_rz[:, :size])
-    update = _sigmoid_np(pre_rz[:, size:])
-    gh_n = gh[:, 2 * size :]
-    candidate = np.tanh(gx[:, 2 * size :] + reset * gh_n + b.data[2 * size :])
-    out_data = (1.0 - update) * candidate + update * hidden.data
+    out_data, reset, update, candidate, gh_n = _backend.active_backend().gru_gates(
+        gx, gh, b.data, hidden.data
+    )
 
     parents = (x, hidden, w_x, w_h, b)
     if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
@@ -273,20 +272,18 @@ def gru_sequence(x: Tensor, w_x: Tensor, w_h: Tensor, b: Tensor, h0: Tensor) -> 
         gh_ns = np.empty((batch, steps, size))
         h_prevs = np.empty((batch, steps, size))
 
+    backend = _backend.active_backend()
     hidden = h0.data
     for t in range(steps):
-        gx = gx_all[:, t, :]
         gh = rc_matmul(hidden, w_h_data)
-        pre_rz = gx[:, : 2 * size] + gh[:, : 2 * size] + b_data[: 2 * size]
-        reset = _sigmoid_np(pre_rz[:, :size])
-        update = _sigmoid_np(pre_rz[:, size:])
-        gh_n = gh[:, 2 * size :]
-        candidate = np.tanh(gx[:, 2 * size :] + reset * gh_n + b_data[2 * size :])
+        new_hidden, reset, update, candidate, gh_n = backend.gru_gates(
+            gx_all[:, t, :], gh, b_data, hidden
+        )
         if recording:
             resets[:, t], updates[:, t] = reset, update
             candidates[:, t], gh_ns[:, t] = candidate, gh_n
             h_prevs[:, t] = hidden
-        hidden = (1.0 - update) * candidate + update * hidden
+        hidden = new_hidden
         outputs[:, t] = hidden
 
     if not recording:
@@ -355,14 +352,11 @@ def lstm_cell(
     w_x, w_h, b = as_tensor(w_x), as_tensor(w_h), as_tensor(b)
     size = hidden.data.shape[-1]
 
-    pre = rc_matmul(x.data, w_x.data) + rc_matmul(hidden.data, w_h.data) + b.data
-    gate_i = _sigmoid_np(pre[:, :size])
-    gate_f = _sigmoid_np(pre[:, size : 2 * size])
-    gate_g = np.tanh(pre[:, 2 * size : 3 * size])
-    gate_o = _sigmoid_np(pre[:, 3 * size :])
-    new_cell = gate_f * cell.data + gate_i * gate_g
-    tanh_cell = np.tanh(new_cell)
-    new_hidden = gate_o * tanh_cell
+    gx = rc_matmul(x.data, w_x.data)
+    gh = rc_matmul(hidden.data, w_h.data)
+    new_hidden, new_cell, gate_i, gate_f, gate_g, gate_o, tanh_cell = (
+        _backend.active_backend().lstm_gates(gx, gh, b.data, cell.data)
+    )
 
     parents = (x, hidden, cell, w_x, w_h, b)
     if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
@@ -449,22 +443,20 @@ def lstm_sequence(
         h_prevs = np.empty((batch, steps, size))
         c_prevs = np.empty((batch, steps, size))
 
+    backend = _backend.active_backend()
     hidden, cell = h0.data, c0.data
     for t in range(steps):
-        pre = gx_all[:, t, :] + rc_matmul(hidden, w_h_data) + b_data
-        gate_i = _sigmoid_np(pre[:, :size])
-        gate_f = _sigmoid_np(pre[:, size : 2 * size])
-        gate_g = np.tanh(pre[:, 2 * size : 3 * size])
-        gate_o = _sigmoid_np(pre[:, 3 * size :])
-        new_cell = gate_f * cell + gate_i * gate_g
-        tanh_cell = np.tanh(new_cell)
+        gh = rc_matmul(hidden, w_h_data)
+        new_hidden, new_cell, gate_i, gate_f, gate_g, gate_o, tanh_cell = (
+            backend.lstm_gates(gx_all[:, t, :], gh, b_data, cell)
+        )
         if recording:
             gates_i[:, t], gates_f[:, t] = gate_i, gate_f
             gates_g[:, t], gates_o[:, t] = gate_g, gate_o
             tanh_cells[:, t] = tanh_cell
             h_prevs[:, t], c_prevs[:, t] = hidden, cell
         cell = new_cell
-        hidden = gate_o * tanh_cell
+        hidden = new_hidden
         outputs[:, t] = hidden
 
     if not recording:

@@ -1,0 +1,183 @@
+"""Float32 end-to-end serving path.
+
+``ServeConfig(backend="float32")`` used to change only the matmul dtype: every
+flush still round-tripped through the float64 Tensor machinery — encoder
+states stored as f64, operands cast f64→f32→f64 per matmul, autograd-node
+bookkeeping on every forward.  :class:`Float32ServingPath` removes the
+round-trip: it snapshots float32 copies of the encoder GRU cells and the
+actor MLP at server construction and runs the per-flush forwards as plain
+float32 numpy on preallocated scratch, with the per-session
+:class:`~repro.core.state_encoder.EncoderState` kept in float32 *between*
+flushes.  Nothing widens back to float64 until the chosen action leaves the
+policy for the (float64) shaping emulator.
+
+Accuracy contract (documented, tested in ``tests/test_serve.py``): the gate
+math is the same functional form as the float64 oracle
+(:func:`repro.nn.backend._np_gru_gates` is dtype-generic), evaluated in
+float32, so served decisions track the float64 path to float32 rounding —
+emitted packet sizes and delays agree within a small relative tolerance,
+decision counts match, and deadline/fallback behaviour is identical under
+identical latency conditions.  Bit-equivalence to ``Amoeba.attack`` is
+deliberately given up; never use this path for training or equivalence
+testing.
+
+Weight snapshots are taken once at construction: a server whose actor or
+encoder parameters are mutated afterwards must build a new
+:class:`Float32ServingPath` (the :class:`~repro.serve.server.PolicyServer`
+constructs one per server, and servers are built per checkpoint).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.actor_critic import GaussianActor
+from ..core.state_encoder import EncoderState, StateEncoder
+from ..nn.backend import _np_gru_gates
+from ..nn.layers import Linear, ReLU, Tanh
+
+__all__ = ["Float32ServingPath"]
+
+
+class Float32ServingPath:
+    """Float32 snapshots of the serving policy plus preallocated scratch.
+
+    The three entry points mirror what a :class:`PolicyServer` flush needs:
+
+    * :meth:`initial_state` — float32 zero :class:`EncoderState` for newly
+      opened sessions,
+    * :meth:`step_pairs` — the batched incremental GRU step
+      (float32 twin of :meth:`StateEncoder.step_pairs`),
+    * :meth:`state_matrix` / :meth:`act` — gather the per-session policy
+      inputs into one float32 batch and run the deterministic actor forward.
+    """
+
+    def __init__(
+        self, actor: GaussianActor, encoder: StateEncoder, max_batch: int = 16
+    ) -> None:
+        self.hidden_size = int(encoder.hidden_size)
+        self.num_layers = int(encoder.num_layers)
+
+        # Packed GRU cell weights, one (w_x, w_h, b) triple per layer.
+        self._cells: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+            (
+                np.ascontiguousarray(cell.w_x.data, dtype=np.float32),
+                np.ascontiguousarray(cell.w_h.data, dtype=np.float32),
+                np.ascontiguousarray(cell.b.data, dtype=np.float32),
+            )
+            for cell in encoder.gru._cells
+        ]
+
+        # The actor body as a flat op list; anything beyond Linear/Tanh/ReLU
+        # has no float32 twin here and must fail at construction, not
+        # mid-flush.
+        self._mlp: List[Tuple[str, Optional[np.ndarray], Optional[np.ndarray]]] = []
+        for module in actor.body._ordered:
+            if isinstance(module, Linear):
+                self._mlp.append(
+                    (
+                        "linear",
+                        np.ascontiguousarray(module.weight.data, dtype=np.float32),
+                        None
+                        if module.bias is None
+                        else np.ascontiguousarray(module.bias.data, dtype=np.float32),
+                    )
+                )
+            elif isinstance(module, Tanh):
+                self._mlp.append(("tanh", None, None))
+            elif isinstance(module, ReLU):
+                self._mlp.append(("relu", None, None))
+            else:
+                raise TypeError(
+                    f"float32 serving path cannot mirror actor module "
+                    f"{type(module).__name__}; supported: Linear, Tanh, ReLU"
+                )
+        first_linear = next(w for kind, w, _ in self._mlp if kind == "linear")
+        if first_linear.shape[0] != 2 * self.hidden_size:
+            raise ValueError(
+                f"actor expects state_dim={first_linear.shape[0]}, encoder "
+                f"produces {2 * self.hidden_size}"
+            )
+
+        self._capacity = 0
+        self._states: Optional[np.ndarray] = None
+        self._ensure_capacity(max(1, int(max_batch)))
+
+    # ------------------------------------------------------------------ #
+    def _ensure_capacity(self, n: int) -> None:
+        if n <= self._capacity:
+            return
+        self._capacity = n
+        self._states = np.empty((n, 2 * self.hidden_size), dtype=np.float32)
+
+    def initial_state(self) -> EncoderState:
+        """Float32 zero state representing an empty history."""
+        return EncoderState(
+            hidden=np.zeros((self.num_layers, self.hidden_size), dtype=np.float32)
+        )
+
+    # ------------------------------------------------------------------ #
+    def step_pairs(
+        self, pairs: np.ndarray, states: Sequence[EncoderState]
+    ) -> List[EncoderState]:
+        """Fold one (size, delay) pair per session, entirely in float32.
+
+        Semantics mirror :meth:`StateEncoder.step_pairs`; the gate math is
+        the dtype-generic oracle evaluated on float32 operands, so the only
+        difference from the float64 path is rounding.
+        """
+        x = np.ascontiguousarray(np.asarray(pairs), dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) pairs, got shape {x.shape}")
+        if x.shape[0] != len(states):
+            raise ValueError("one state per row of pairs is required")
+        n = len(states)
+        new_layers: List[np.ndarray] = []
+        layer_input = x
+        for layer, (w_x, w_h, b) in enumerate(self._cells):
+            hidden = np.empty((n, self.hidden_size), dtype=np.float32)
+            for row, state in enumerate(states):
+                hidden[row] = state.hidden[layer]
+            gx = layer_input @ w_x
+            gh = hidden @ w_h
+            new_hidden = _np_gru_gates(gx, gh, b, hidden)[0]
+            new_layers.append(new_hidden)
+            layer_input = new_hidden
+        stacked = np.stack(new_layers)  # (num_layers, n, hidden)
+        return [
+            EncoderState(hidden=np.ascontiguousarray(stacked[:, row]))
+            for row in range(n)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def state_matrix(self, sessions: Sequence) -> np.ndarray:
+        """Gather ``s_t = E(x_1:t) || E(a_1:t)`` per session into one
+        preallocated float32 batch (a view — consume before the next call)."""
+        n = len(sessions)
+        self._ensure_capacity(n)
+        size = self.hidden_size
+        out = self._states[:n]
+        for row, session in enumerate(sessions):
+            out[row, :size] = session.observation_state.hidden[-1]
+            out[row, size:] = session.action_state.hidden[-1]
+        return out
+
+    def act(self, states: np.ndarray) -> np.ndarray:
+        """Deterministic actor forward (the Gaussian mean) in float32.
+
+        Returns float64 actions — the shaping emulator downstream is the
+        same float64 code the training environment runs.
+        """
+        x = np.asarray(states, dtype=np.float32)
+        for kind, weight, bias in self._mlp:
+            if kind == "linear":
+                x = x @ weight
+                if bias is not None:
+                    x = x + bias
+            elif kind == "tanh":
+                x = np.tanh(x)
+            else:  # relu
+                x = np.maximum(x, np.float32(0.0))
+        return x.astype(np.float64)

@@ -44,6 +44,7 @@ from ..core.state_encoder import StateEncoder
 from ..nn import backend as nn_backend
 from ..nn.serialization import load_state_dict, split_prefixed_state
 from ..utils.rng import ensure_rng
+from .fastpath import Float32ServingPath
 from .scheduler import ContinuousBatchScheduler, DecisionRequest
 from .session import (
     FlowSession,
@@ -75,7 +76,14 @@ class ServeConfig:
     row-consistent backends (``blocked``, ``reference``) preserve the
     bit-equivalence contract between serving and ``Amoeba.attack``; the
     ``float32`` backend trades that contract for raw speed and is therefore
-    strictly opt-in.
+    strictly opt-in.  A float32-dtype backend additionally swaps the server
+    onto the end-to-end f32 session path
+    (:class:`~repro.serve.fastpath.Float32ServingPath`): encoder state, gate
+    activations and batch scratch stay in float32 between flushes, and
+    served decisions agree with the float64 path to float32 rounding (same
+    decision counts, emitted sizes/delays within a small relative tolerance,
+    identical deadline/fallback behaviour under identical latencies — the
+    documented accuracy contract, asserted in ``tests/test_serve.py``).
     """
 
     size_scale: float = 1460.0
@@ -269,6 +277,16 @@ class PolicyServer:
             if self.config.backend is not None
             else None
         )
+        # A float32-dtype backend opts the server into the end-to-end f32
+        # session path: f32 weight snapshots + f32 per-session state, no
+        # per-matmul widen-back.  Row-consistent backends keep the exact
+        # Tensor path (and its bit-equivalence ladder).
+        self._fastpath: Optional[Float32ServingPath] = (
+            Float32ServingPath(actor, encoder, max_batch=self.config.max_batch)
+            if self._backend is not None
+            and self._backend.compute_dtype == np.float32
+            else None
+        )
         self._sessions: Dict[str, FlowSession] = {}
         self._session_counter = itertools.count()
         self._outbox: List[ShapingDecision] = []
@@ -308,6 +326,23 @@ class PolicyServer:
         if self._backend is None:
             return contextlib.nullcontext()
         return nn_backend.use_backend(self._backend.name)
+
+    def _encode_step(self, pairs: np.ndarray, states) -> list:
+        """One batched incremental GRU step on the configured substrate."""
+        if self._fastpath is not None:
+            return self._fastpath.step_pairs(pairs, states)
+        with self._backend_scope():
+            return self.encoder.step_pairs(pairs, states)
+
+    def _act(self, live: Sequence[Tuple[DecisionRequest, FlowSession]]) -> np.ndarray:
+        """Deterministic policy forward for one flush batch."""
+        if self._fastpath is not None:
+            states = self._fastpath.state_matrix([session for _, session in live])
+            return self._fastpath.act(states)
+        states = np.stack([session.state_vector() for _, session in live])
+        with self._backend_scope():
+            actions, _ = self.actor.act_batch(states, deterministic=True)
+        return actions
 
     def backend_description(self) -> str:
         """Human-readable description of the backend the forwards run on."""
@@ -352,6 +387,7 @@ class PolicyServer:
             miss_window=self.config.miss_window,
             miss_threshold=self.config.miss_threshold,
             protocol=protocol,
+            state_dtype=np.float32 if self._fastpath is not None else np.float64,
         )
         self._sessions_opened += 1
         return session_id
@@ -443,17 +479,14 @@ class PolicyServer:
             observations = np.stack(
                 [live[row][1].current_observation() for row in fold_rows]
             )
-            with self._backend_scope():
-                folded = self.encoder.step_pairs(
-                    observations, [live[row][1].observation_state for row in fold_rows]
-                )
+            folded = self._encode_step(
+                observations, [live[row][1].observation_state for row in fold_rows]
+            )
             for row, state in zip(fold_rows, folded):
                 live[row][1].mark_observation_folded(state)
 
         # 2) One deterministic policy forward for the whole batch.
-        states = np.stack([session.state_vector() for _, session in live])
-        with self._backend_scope():
-            actions, _ = self.actor.act_batch(states, deterministic=True)
+        actions = self._act(live)
 
         # 3) Apply actions through the per-session emulator.
         now = self._clock()
@@ -469,10 +502,9 @@ class PolicyServer:
 
         # 4) Fold the emitted actions (one batched GRU step).
         recorded = np.stack([decision.recorded_action for decision in decisions])
-        with self._backend_scope():
-            folded_actions = self.encoder.step_pairs(
-                recorded, [session.action_state for _, session in live]
-            )
+        folded_actions = self._encode_step(
+            recorded, [session.action_state for _, session in live]
+        )
         for (_, session), state in zip(live, folded_actions):
             session.mark_action_folded(state)
 

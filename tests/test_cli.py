@@ -175,6 +175,36 @@ class TestCommands:
                 ]
             )
 
+    def test_backends_command(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "registered backends:" in out
+        assert "blocked" in out and "reference" in out and "float32" in out
+        assert "threads:" in out
+        assert "rc-GEMM kernel:" in out
+        assert "fused-cell kernels:" in out
+        # One describe() line per registered backend.
+        assert "compute_dtype=float64" in out
+        assert "compute_dtype=float32" in out
+
+    def test_backends_command_reports_fallback_error(self, capsys, monkeypatch):
+        # When the compiled kernel is unavailable the diagnostic must surface
+        # the recorded compile/loader error verbatim.
+        from repro.nn import backend as nn_backend
+
+        monkeypatch.setattr(nn_backend, "compiled_kernel_available", lambda: False)
+        monkeypatch.setattr(
+            nn_backend, "compiled_kernel_error", lambda: "cc1: fatal error: boom"
+        )
+        monkeypatch.setattr(nn_backend, "fused_cells_available", lambda: False)
+        monkeypatch.setattr(nn_backend, "fused_cells_error", lambda: "gates: boom")
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "einsum fallback" in out
+        assert "cc1: fatal error: boom" in out
+        assert "numpy fallback" in out
+        assert "gates: boom" in out
+
     def test_attack_command_pipelined(self, capsys):
         code = main(
             [

@@ -13,6 +13,8 @@ Three families of guarantees:
   same floating-point trajectory as their allocating baselines.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -57,7 +59,12 @@ class TestRegistry:
             nnb.register_backend(nnb.ExecutionBackend())
 
     def test_default_is_blocked(self):
-        assert nnb.default_backend().name == "blocked"
+        import os
+
+        # CI's reference-backend job forces the default via the env var;
+        # absent that, the process default must be the blocked kernel pack.
+        expected = os.environ.get("REPRO_NN_BACKEND", "blocked")
+        assert nnb.default_backend().name == expected
 
     def test_use_backend_scopes_and_nests(self):
         outer = nnb.active_backend().name
@@ -175,6 +182,280 @@ class TestBlockedEqualsReference:
         expected = np.einsum("ik,kh->ih", np.ascontiguousarray(a), w)
         assert np.array_equal(kernel.rc_gemm(a, w), expected)
         assert np.array_equal(kernel.rc_gemm(a, w_strided), expected)
+
+
+class TestThreadedGemm:
+    """The row-partitioned pthread pool must be numerically invisible.
+
+    Each worker computes a contiguous chunk of output rows with the same
+    per-row accumulation loop as the single-threaded kernel, so the result
+    must be bitwise identical to the reference einsum at *every* thread
+    count — including degenerate partitions (fewer rows than threads,
+    rows not divisible by threads).
+    """
+
+    # Above the dispatch threshold (rows * inner * cols >= _THREAD_MIN_WORK)
+    # so backend-level calls actually take the threaded path.
+    BIG_SHAPES = [(64, 34, 64), (128, 64, 8), (257, 33, 17)]
+
+    @pytest.fixture(autouse=True)
+    def _restore_threads(self):
+        before = nnb.num_threads()
+        yield
+        nnb.set_num_threads(before)
+
+    def test_num_threads_api(self):
+        assert nnb.set_num_threads(4) == 4
+        assert nnb.num_threads() == 4
+        assert nnb.set_num_threads(0) == 1  # clamped to at least one
+        assert nnb.num_threads() == 1
+
+    def test_parse_threads(self):
+        import os
+
+        assert nnb._parse_threads(None) == 1
+        assert nnb._parse_threads("") == 1
+        assert nnb._parse_threads("3") == 3
+        assert nnb._parse_threads("auto") == (os.cpu_count() or 1)
+        assert nnb._parse_threads("0") == (os.cpu_count() or 1)
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert nnb._parse_threads("many") == 1
+        with pytest.warns(RuntimeWarning, match="negative"):
+            assert nnb._parse_threads("-2") == 1
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_bitwise_invariance_across_thread_counts(self, threads):
+        """REPRO_NN_THREADS ∈ {1, 2, 4} must not change a single bit."""
+        rng = np.random.default_rng(40)
+        ref = nnb.get_backend("reference")
+        blocked = nnb.get_backend("blocked")
+        nnb.set_num_threads(threads)
+        for a, b in _pairs(rng, SHAPES + self.BIG_SHAPES):
+            assert np.array_equal(blocked.matmul2d(a, b), ref.matmul2d(a, b)), (
+                threads,
+                a.shape,
+                b.shape,
+            )
+
+    def test_kernel_rows_fewer_than_threads(self):
+        if not nnb.compiled_kernel_available():
+            pytest.skip("compiled kernel unavailable")
+        kernel = nnb._ensure_kernel()
+        rng = np.random.default_rng(41)
+        a = rng.standard_normal((3, 29))
+        b = rng.standard_normal((29, 13))
+        expected = np.einsum("ik,kh->ih", a, b)
+        for threads in (4, 8, 16):
+            assert np.array_equal(kernel.rc_gemm(a, b, threads), expected), threads
+        # A single row degenerates to the caller-thread path.
+        assert np.array_equal(kernel.rc_gemm(a[:1], b, 4), expected[:1])
+
+    def test_kernel_rows_not_divisible_by_threads(self):
+        if not nnb.compiled_kernel_available():
+            pytest.skip("compiled kernel unavailable")
+        kernel = nnb._ensure_kernel()
+        rng = np.random.default_rng(42)
+        for rows in (7, 9, 11, 130):
+            a = rng.standard_normal((rows, 21))
+            b = rng.standard_normal((21, 6))
+            expected = np.einsum("ik,kh->ih", a, b)
+            for threads in (2, 3, 4):
+                assert np.array_equal(kernel.rc_gemm(a, b, threads), expected), (
+                    rows,
+                    threads,
+                )
+
+    def test_kernel_threaded_empty_reduction(self):
+        if not nnb.compiled_kernel_available():
+            pytest.skip("compiled kernel unavailable")
+        kernel = nnb._ensure_kernel()
+        out = kernel.rc_gemm(np.zeros((5, 0)), np.zeros((0, 4)), 4)
+        assert out.shape == (5, 4)
+        assert np.array_equal(out, np.zeros((5, 4)))
+
+    def test_describe_reports_threads_and_cpu_count(self):
+        import os
+
+        nnb.set_num_threads(3)
+        payload = nnb.get_backend("blocked").describe()
+        assert payload["threads"] == 3
+        assert payload["cpu_count"] == os.cpu_count()
+        assert payload["fused_cells"] in ("compiled", "numpy-fallback")
+
+
+class TestFusedCellKernels:
+    """The compiled gate pipelines must be bitwise equal to the numpy oracle."""
+
+    @staticmethod
+    def _gru_operands(rng, batch, size, scale=1.0):
+        return (
+            rng.standard_normal((batch, 3 * size)) * scale,
+            rng.standard_normal((batch, 3 * size)) * scale,
+            rng.standard_normal(3 * size) * scale,
+            rng.standard_normal((batch, size)),
+        )
+
+    @staticmethod
+    def _lstm_operands(rng, batch, size, scale=1.0):
+        return (
+            rng.standard_normal((batch, 4 * size)) * scale,
+            rng.standard_normal((batch, 4 * size)) * scale,
+            rng.standard_normal(4 * size) * scale,
+            rng.standard_normal((batch, size)),
+        )
+
+    @pytest.mark.parametrize("batch,size", [(1, 1), (2, 5), (9, 16), (5, 3)])
+    @pytest.mark.parametrize("scale", [1.0, 50.0])
+    def test_gru_gates_blocked_equals_reference(self, batch, size, scale):
+        rng = np.random.default_rng(50)
+        gx, gh, b, hidden = self._gru_operands(rng, batch, size, scale)
+        expected = nnb.get_backend("reference").gru_gates(gx, gh, b, hidden)
+        got = nnb.get_backend("blocked").gru_gates(gx, gh, b, hidden)
+        assert len(expected) == len(got) == 5
+        for want, have in zip(expected, got):
+            assert np.array_equal(want, have)
+
+    @pytest.mark.parametrize("batch,size", [(1, 1), (2, 5), (9, 16), (5, 3)])
+    @pytest.mark.parametrize("scale", [1.0, 50.0])
+    def test_lstm_gates_blocked_equals_reference(self, batch, size, scale):
+        rng = np.random.default_rng(51)
+        gx, gh, b, cell = self._lstm_operands(rng, batch, size, scale)
+        expected = nnb.get_backend("reference").lstm_gates(gx, gh, b, cell)
+        got = nnb.get_backend("blocked").lstm_gates(gx, gh, b, cell)
+        assert len(expected) == len(got) == 7
+        for want, have in zip(expected, got):
+            assert np.array_equal(want, have)
+
+    def test_gates_accept_noncontiguous_inputs(self):
+        """Strided gx/gh views (e.g. gx_all[:, t, :] sequence slices) match."""
+        rng = np.random.default_rng(52)
+        size = 6
+        big_gx = rng.standard_normal((5, 3, 3 * size))
+        big_gh = rng.standard_normal((5, 3, 3 * size))
+        b = rng.standard_normal(3 * size)
+        hidden = rng.standard_normal((5, size))
+        gx, gh = big_gx[:, 1, :], big_gh[:, 1, :]
+        assert not gx.flags["C_CONTIGUOUS"]
+        expected = nnb._np_gru_gates(gx, gh, b, hidden)
+        got = nnb.get_backend("blocked").gru_gates(gx, gh, b, hidden)
+        for want, have in zip(expected, got):
+            assert np.array_equal(want, have)
+
+        big4 = rng.standard_normal((4, 2, 4 * size))
+        gx4, gh4 = big4[:, 0, :], rng.standard_normal((4, 2, 4 * size))[:, 1, :]
+        b4 = rng.standard_normal(4 * size)
+        cell = rng.standard_normal((4, size))
+        expected = nnb._np_lstm_gates(gx4, gh4, b4, cell)
+        got = nnb.get_backend("blocked").lstm_gates(gx4, gh4, b4, cell)
+        for want, have in zip(expected, got):
+            assert np.array_equal(want, have)
+
+    def test_float32_operands_fall_back_to_numpy_oracle(self):
+        """Non-float64 gate operands skip the compiled path and stay f32."""
+        rng = np.random.default_rng(53)
+        gx, gh, b, hidden = (
+            arr.astype(np.float32) for arr in self._gru_operands(rng, 4, 5)
+        )
+        got = nnb.get_backend("blocked").gru_gates(gx, gh, b, hidden)
+        assert got[0].dtype == np.float32
+        expected = nnb._np_gru_gates(gx, gh, b, hidden)
+        for want, have in zip(expected, got):
+            assert np.array_equal(want, have)
+
+    def test_numpy_fallback_when_gates_unavailable(self, monkeypatch):
+        monkeypatch.setattr(nnb, "_GATES_OK", False)
+        monkeypatch.setattr(nnb, "_GATES_ERROR", "forced by test")
+        blocked = nnb.get_backend("blocked")
+        assert blocked.describe()["fused_cells"] == "numpy-fallback"
+        assert nnb.fused_cells_error() == "forced by test"
+        rng = np.random.default_rng(54)
+        gx, gh, b, hidden = self._gru_operands(rng, 3, 4)
+        expected = nnb._np_gru_gates(gx, gh, b, hidden)
+        got = blocked.gru_gates(gx, gh, b, hidden)
+        for want, have in zip(expected, got):
+            assert np.array_equal(want, have)
+
+    def test_gate_selfcheck_failure_warns_once_and_degrades(self, monkeypatch):
+        monkeypatch.setattr(nnb, "_GATES_OK", None)
+        monkeypatch.setattr(nnb, "_GATES_ERROR", None)
+
+        def boom(kernel):
+            raise RuntimeError("gate self-check forced to fail")
+
+        monkeypatch.setattr(nnb, "_self_check_gates", boom)
+        with pytest.warns(RuntimeWarning, match="fused-cell kernels unavailable"):
+            assert not nnb.fused_cells_available()
+        assert "forced to fail" in nnb.fused_cells_error()
+        # Subsequent calls are silent (the warning is one-time per process).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not nnb.fused_cells_available()
+
+    @pytest.mark.parametrize("family", ["gru", "lstm"])
+    def test_functional_cells_identical_across_backends(self, family):
+        """gru/lstm cell+sequence forwards and backwards are backend-invariant."""
+        rng = np.random.default_rng(55)
+        size, batch, steps = 5, 4, 3
+        mult = 3 if family == "gru" else 4
+        w_x = Tensor(rng.standard_normal((2, mult * size)), requires_grad=True)
+        w_h = Tensor(rng.standard_normal((size, mult * size)), requires_grad=True)
+        b = Tensor(rng.standard_normal(mult * size), requires_grad=True)
+        x_seq = rng.standard_normal((batch, steps, 2))
+        h0 = rng.standard_normal((batch, size))
+        c0 = rng.standard_normal((batch, size))
+
+        from repro.nn import functional as F
+
+        def run(backend_name):
+            for p in (w_x, w_h, b):
+                p.grad = None
+            with nn.row_consistent_matmul(), nnb.use_backend(backend_name):
+                if family == "gru":
+                    out = F.gru_sequence(Tensor(x_seq), w_x, w_h, b, Tensor(h0))
+                else:
+                    out, _ = F.lstm_sequence(
+                        Tensor(x_seq), w_x, w_h, b, Tensor(h0), Tensor(c0)
+                    )
+                loss = (out * out).sum()
+                loss.backward()
+            return out.data.copy(), [p.grad.copy() for p in (w_x, w_h, b)]
+
+        out_ref, grads_ref = run("reference")
+        out_blk, grads_blk = run("blocked")
+        assert np.array_equal(out_ref, out_blk)
+        for g_ref, g_blk in zip(grads_ref, grads_blk):
+            assert np.array_equal(g_ref, g_blk)
+
+
+class TestKernelFallbackWarning:
+    def test_compile_failure_warns_once_and_reports(self, monkeypatch):
+        monkeypatch.setattr(nnb, "_KERNEL", nnb._UNSET)
+        monkeypatch.setattr(nnb, "_KERNEL_ERROR", None)
+        monkeypatch.setattr(
+            nnb, "_kernel_path", lambda: "/nonexistent/repro-kernel-test.so"
+        )
+
+        def boom(path):
+            raise RuntimeError("compiler forced to fail")
+
+        monkeypatch.setattr(nnb, "_compile_kernel", boom)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert not nnb.compiled_kernel_available()
+        assert "forced to fail" in nnb.compiled_kernel_error()
+        payload = nnb.get_backend("blocked").describe()
+        assert payload["kernel"] == "einsum-fallback"
+        assert "forced to fail" in payload["kernel_error"]
+        # The degraded backend still produces reference bits...
+        rng = np.random.default_rng(60)
+        a, bb = rng.standard_normal((5, 9)), rng.standard_normal((9, 4))
+        assert np.array_equal(
+            nnb.get_backend("blocked").matmul2d(a, bb),
+            np.einsum("ik,kh->ih", a, bb),
+        )
+        # ...and repeated availability checks stay silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not nnb.compiled_kernel_available()
 
 
 class TestFloat32Backend:
