@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..censors.base import CensorClassifier
 from ..features.representation import FlowNormalizer
 from ..flows.flow import Flow, FlowLabel
@@ -338,60 +338,70 @@ class Amoeba:
             # Workers hold the current weights right after the prime; the
             # pipelined loop only re-broadcasts once an update has run.
             weights_stale = False
+            iterations_counter = obs.counter("train.iterations")
+            timesteps_counter = obs.counter("train.timesteps")
             while steps_done < total_timesteps:
-                buffer.reset()
-                recent_summaries: List[EpisodeSummary] = []
-                if engine is not None or runner is not None:
-                    if engine is None:
-                        result = runner.collect(config.rollout_length)
-                    elif pipeline:
-                        result = engine.wait()
-                        self.censor.record_external_queries(result.query_delta)
-                        if steps_done + iteration_steps < total_timesteps:
-                            # Double-buffering: the next collect starts now
-                            # with the current (pre-update) policy and runs
-                            # while updater.update() below is busy.
-                            if weights_stale:
+                with obs.span("train.iteration", steps=iteration_steps):
+                    buffer.reset()
+                    recent_summaries: List[EpisodeSummary] = []
+                    collect_span = obs.span("train.collect")
+                    if engine is not None or runner is not None:
+                        with collect_span:
+                            if engine is None:
+                                result = runner.collect(config.rollout_length)
+                            elif pipeline:
+                                result = engine.wait()
+                                self.censor.record_external_queries(result.query_delta)
+                                if steps_done + iteration_steps < total_timesteps:
+                                    # Double-buffering: the next collect starts now
+                                    # with the current (pre-update) policy and runs
+                                    # while updater.update() below is busy.
+                                    if weights_stale:
+                                        engine.broadcast(
+                                            state_dict_to_bytes(self._policy_state())
+                                        )
+                                        weights_stale = False
+                                    engine.collect_async(config.rollout_length)
+                            else:
                                 engine.broadcast(state_dict_to_bytes(self._policy_state()))
-                                weights_stale = False
-                            engine.collect_async(config.rollout_length)
+                                result = engine.collect(config.rollout_length)
+                                # Worker censor replicas counted these queries; fold
+                                # them into this process's censor (the inline runner
+                                # queries self.censor directly, so nothing to fold).
+                                self.censor.record_external_queries(result.query_delta)
+                            buffer.load(
+                                result.states,
+                                result.actions,
+                                result.log_probs,
+                                result.rewards,
+                                result.values,
+                                result.dones,
+                            )
+                        for _tick, _env_index, summary in result.summaries:
+                            recent_summaries.append(summary)
+                            self._episode_successes.append(summary.success)
+                        steps_done += iteration_steps
+                        # Bootstrap values computed shard-side with the
+                        # collection-time critic — identical to a driver-side
+                        # forward in synchronous modes, and the consistent
+                        # choice under pipelining (the driver's critic may be
+                        # one update ahead of this rollout's values).
+                        last_values = result.final_values
                     else:
-                        engine.broadcast(state_dict_to_bytes(self._policy_state()))
-                        result = engine.collect(config.rollout_length)
-                        # Worker censor replicas counted these queries; fold
-                        # them into this process's censor (the inline runner
-                        # queries self.censor directly, so nothing to fold).
-                        self.censor.record_external_queries(result.query_delta)
-                    buffer.load(
-                        result.states,
-                        result.actions,
-                        result.log_probs,
-                        result.rewards,
-                        result.values,
-                        result.dones,
-                    )
-                    for _tick, _env_index, summary in result.summaries:
-                        recent_summaries.append(summary)
-                        self._episode_successes.append(summary.success)
-                    steps_done += iteration_steps
-                    # Bootstrap values computed shard-side with the
-                    # collection-time critic — identical to a driver-side
-                    # forward in synchronous modes, and the consistent
-                    # choice under pipelining (the driver's critic may be
-                    # one update ahead of this rollout's values).
-                    last_values = result.final_values
-                else:
-                    while not buffer.full:
-                        states = self._collect_tick_sequential(
-                            envs, buffer, states, recent_summaries, noise_rngs
-                        )
-                        steps_done += config.n_envs
-                    last_values = self.critic.value_batch(states)
+                        with collect_span:
+                            while not buffer.full:
+                                states = self._collect_tick_sequential(
+                                    envs, buffer, states, recent_summaries, noise_rngs
+                                )
+                                steps_done += config.n_envs
+                            last_values = self.critic.value_batch(states)
 
-                buffer.finalize(last_values, config.gamma, config.gae_lambda)
-                stats = self.updater.update(buffer)
-                weights_stale = True
-                self._timesteps_trained += iteration_steps
+                    buffer.finalize(last_values, config.gamma, config.gae_lambda)
+                    stats = self.updater.update(buffer)
+                    weights_stale = True
+                    self._timesteps_trained += iteration_steps
+                    iterations_counter.inc()
+                    timesteps_counter.inc(iteration_steps)
 
                 window = self._episode_successes[-50:]
                 train_asr = float(np.mean(window)) if window else 0.0

@@ -10,13 +10,15 @@ mean-squared-error value updates over ``n_minibatches`` minibatches:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..nn import functional as F
+from ..obs import _state as _obs_state
 from ..utils.rng import ensure_rng
 from .actor_critic import Critic, GaussianActor
 from .config import AmoebaConfig
@@ -74,6 +76,48 @@ class PPOUpdater:
         kls = []
         clip_fractions = []
 
+        # Telemetry reads clocks only: it draws from no RNG stream and
+        # touches no numeric path, so update results are bit-identical with
+        # telemetry on or off.
+        telemetry = _obs_state.enabled
+        actor_ms = obs.histogram("train.ppo.actor_ms") if telemetry else None
+        critic_ms = obs.histogram("train.ppo.critic_ms") if telemetry else None
+        with obs.span(
+            "train.ppo_update",
+            epochs=config.update_epochs,
+            minibatches=config.n_minibatches,
+        ):
+            self._run_epochs(
+                buffer,
+                policy_losses,
+                value_losses,
+                entropies,
+                kls,
+                clip_fractions,
+                actor_ms,
+                critic_ms,
+            )
+
+        return PPOUpdateStats(
+            policy_loss=float(np.mean(policy_losses)),
+            value_loss=float(np.mean(value_losses)),
+            entropy=float(np.mean(entropies)),
+            approx_kl=float(np.mean(kls)),
+            clip_fraction=float(np.mean(clip_fractions)),
+        )
+
+    def _run_epochs(
+        self,
+        buffer: RolloutBuffer,
+        policy_losses,
+        value_losses,
+        entropies,
+        kls,
+        clip_fractions,
+        actor_ms=None,
+        critic_ms=None,
+    ) -> None:
+        config = self.config
         for _ in range(config.update_epochs):
             for batch in buffer.minibatches(
                 config.n_minibatches, rng=self._rng, scratch=self._mb_scratch
@@ -84,6 +128,7 @@ class PPOUpdater:
                 old_log_probs = nn.Tensor(batch.log_probs)
 
                 # ---------------- actor ----------------
+                t0 = time.perf_counter() if actor_ms is not None else 0.0
                 log_probs, entropy = self.actor.log_prob_and_entropy(states, batch.actions)
                 ratio = (log_probs - old_log_probs).exp()
                 clipped_ratio = ratio.clip(1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon)
@@ -100,14 +145,19 @@ class PPOUpdater:
                 policy_loss.backward()
                 nn.clip_grad_norm(self.actor.parameters(), config.max_grad_norm)
                 self.actor_optimizer.step()
+                if actor_ms is not None:
+                    actor_ms.observe((time.perf_counter() - t0) * 1000.0)
 
                 # ---------------- critic ----------------
+                t0 = time.perf_counter() if critic_ms is not None else 0.0
                 values = self.critic(states)
                 value_loss = F.mse_loss(values, returns)
                 self.critic_optimizer.zero_grad()
                 value_loss.backward()
                 nn.clip_grad_norm(self.critic.parameters(), config.max_grad_norm)
                 self.critic_optimizer.step()
+                if critic_ms is not None:
+                    critic_ms.observe((time.perf_counter() - t0) * 1000.0)
 
                 with nn.no_grad():
                     approx_kl = float(np.mean(batch.log_probs - log_probs.data))

@@ -21,6 +21,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..censors.base import CensorClassifier
 from ..core.env import EpisodeSummary
 from ..core.vec_env import BatchedEpisodeEncoder, VectorFlowEnv, build_envs_from_seed_tree
@@ -167,6 +168,10 @@ class ShardRunner:
         """
         if n_ticks < 1:
             raise ValueError("n_ticks must be >= 1")
+        with obs.span("collect.shard", ticks=n_ticks, envs=self.n_envs):
+            return self._collect(n_ticks)
+
+    def _collect(self, n_ticks: int) -> ShardResult:
         if not self._started:
             self._states = self._tracker.reset_all(self._vec_env.reset())
             self._started = True
@@ -209,6 +214,12 @@ class ShardRunner:
         # critic may already be one update ahead by the time this segment is
         # merged, and the rollout's per-step values came from these weights.
         final_values = self.critic.value_batch(self._states)
+
+        # Worker-side counters, folded across the fork boundary by the
+        # sharded engine (see ShardedRolloutEngine telemetry fold).
+        obs.counter("collect.ticks").inc(n_ticks)
+        if summaries:
+            obs.counter("collect.episodes").inc(len(summaries))
 
         return ShardResult(
             states=states,

@@ -63,13 +63,16 @@ at most the current iteration's commands.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
 import numpy as np
 
+from .. import obs
 from ..core.env import EpisodeSummary
+from ..obs import _state as _obs_state
 from .shard import ShardResult, ShardRunner
 from .worker import worker_main
 
@@ -152,6 +155,12 @@ class ShardedRolloutEngine:
         self._broken = False
         self._restarts = 0
         self._closed = False
+        # Per-worker fault/telemetry bookkeeping, surfaced by stats():
+        # monotonic time of the last successful reply, restarts performed,
+        # and commands replayed into replacements during recovery.
+        self._last_heartbeat: List[Optional[float]] = [None] * n_workers
+        self._worker_restarts: List[int] = [0] * n_workers
+        self._worker_replayed: List[int] = [0] * n_workers
         self._workers: List[_WorkerHandle] = [
             self._spawn(index) for index in range(n_workers)
         ]
@@ -219,6 +228,25 @@ class ShardedRolloutEngine:
     def restarts_performed(self) -> int:
         """Number of worker restarts (replay recoveries) so far."""
         return self._restarts
+
+    def stats(self) -> Dict[str, object]:
+        """Merged engine statistics: fault counters and worker liveness.
+
+        ``worker_heartbeat_age_s[i]`` is the time since worker ``i`` last
+        answered a command (``None`` before its first reply);
+        ``worker_restarts`` / ``worker_replayed`` count restarts and
+        replayed recovery commands per worker.
+        """
+        now = time.monotonic()
+        return {
+            "n_workers": self._n_workers,
+            "restarts": self._restarts,
+            "worker_restarts": list(self._worker_restarts),
+            "worker_replayed": list(self._worker_replayed),
+            "worker_heartbeat_age_s": [
+                None if beat is None else now - beat for beat in self._last_heartbeat
+            ],
+        }
 
     # ------------------------------------------------------------------ #
     # Commands
@@ -293,6 +321,8 @@ class ShardedRolloutEngine:
         self._pending = None
         merged = self._merge(results)
         self._checkpoint_workers()
+        if _obs_state.enabled:
+            self._collect_worker_telemetry()
         return merged
 
     def _checkpoint_workers(self) -> None:
@@ -306,6 +336,26 @@ class ShardedRolloutEngine:
         # The snapshot round completed on every worker, so no logged command
         # remains to replay on a future restart.
         self._log.clear()
+
+    def _collect_worker_telemetry(self) -> None:
+        """Fold every worker's metrics registry into the driver's (best effort).
+
+        The ``telemetry`` command is deliberately *not* logged: it reads and
+        zeroes the worker's own obs registry and never touches runner state,
+        so replay determinism is unaffected.  A worker whose pipe is broken
+        is simply skipped — its metrics are recovered as fresh (empty) after
+        the next replay recovery, never restarted for telemetry's sake.
+        """
+        for handle in self._workers:
+            try:
+                handle.conn.send(("telemetry",))
+                reply = handle.conn.recv()
+            except _PIPE_ERRORS:
+                continue
+            self._last_heartbeat[handle.index] = time.monotonic()
+            if reply[0] != "result":
+                continue
+            obs.merge_snapshot(reply[1], extra_labels={"worker": str(handle.index)})
 
     def close(self) -> None:
         """Shut all workers down (best effort; crashed workers are reaped)."""
@@ -417,6 +467,7 @@ class ShardedRolloutEngine:
                 continue
             try:
                 replies[handle.index] = handle.conn.recv()
+                self._last_heartbeat[handle.index] = time.monotonic()
             except _PIPE_ERRORS:
                 failed.append(handle.index)
         for index in failed:
@@ -442,6 +493,8 @@ class ShardedRolloutEngine:
         last_error: Optional[BaseException] = None
         for _ in range(self._max_restarts):
             self._restarts += 1
+            self._worker_restarts[index] += 1
+            obs.counter("distrib.worker_restarts", worker=str(index)).inc()
             handle = self._respawn(index)
             try:
                 reply: Optional[tuple] = None
@@ -460,11 +513,14 @@ class ShardedRolloutEngine:
                 for message in self._log:
                     handle.conn.send(message)
                     reply = handle.conn.recv()
+                    self._worker_replayed[index] += 1
+                    obs.counter("distrib.worker_replayed", worker=str(index)).inc()
                     if reply[0] == "error":
                         # Deterministic failure inside the worker code path:
                         # restarting cannot help, surface it to the driver.
                         return reply
                 assert reply is not None
+                self._last_heartbeat[index] = time.monotonic()
                 return reply
             except _PIPE_ERRORS as error:
                 last_error = error

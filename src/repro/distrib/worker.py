@@ -5,15 +5,22 @@ replica, flow pool and network architectures by copy-on-write — nothing is
 pickled at spawn time.  Afterwards the engine and worker speak a tiny framed
 protocol over a duplex pipe:
 
-=========== ======================= ==============================
-command     payload                 reply
-=========== ======================= ==============================
-``load``     checkpoint bytes        ``("ok", None)``
-``collect``  number of ticks         ``("result", ShardResult)``
-``snapshot`` —                       ``("result", runner state dict)``
-``restore``  runner state dict       ``("ok", None)``
-``close``    —                       ``("ok", None)``, then exit
-=========== ======================= ==============================
+============ ======================= ==============================
+command      payload                 reply
+============ ======================= ==============================
+``load``      checkpoint bytes        ``("ok", None)``
+``collect``   number of ticks         ``("result", ShardResult)``
+``snapshot``  —                       ``("result", runner state dict)``
+``restore``   runner state dict       ``("ok", None)``
+``telemetry`` —                       ``("result", obs registry snapshot)``
+``close``     —                       ``("ok", None)``, then exit
+============ ======================= ==============================
+
+``telemetry`` is special: it reads (and zeroes) the worker's own metrics
+registry and never touches the runner, so the engine sends it *outside*
+the replay log — a restarted worker simply reports fresh (empty) metrics
+instead of replaying observations, and collection determinism is
+unaffected.
 
 Exceptions inside a command are caught and returned as ``("error",
 traceback)`` so the engine can re-raise them in the driver — a crashed
@@ -56,6 +63,10 @@ def worker_main(conn, runner_factory: Callable[[int], object], worker_index: int
             elif command == "restore":
                 runner.restore(message[1])
                 conn.send(("ok", None))
+            elif command == "telemetry":
+                from .. import obs
+
+                conn.send(("result", obs.take_snapshot()))
             elif command == "close":
                 conn.send(("ok", None))
                 break

@@ -91,10 +91,13 @@ import subprocess
 import sys
 import sysconfig
 import tempfile
+import time
 import warnings
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from ..obs import _state as _obs_state
 
 __all__ = [
     "ExecutionBackend",
@@ -1147,6 +1150,53 @@ class ExecutionBackend:
         return f"{type(self).__name__}(name={self.name!r})"
 
 
+# Cached telemetry instruments for the enabled-mode kernel timers: these
+# paths run per matmul / per recurrent step, so even the registry's
+# lock-free lookup (label-key build + dict probe) — and the ``import``
+# statement that would fetch it — is measurable.  The cache is invalidated
+# by registry generation, which bumps on obs.reset().
+_OBS_INSTRUMENTS: Dict[str, object] = {"generation": -1}
+_OBS_REGISTRY = None
+
+
+def _obs_instruments() -> Dict[str, object]:
+    global _OBS_REGISTRY
+
+    registry = _OBS_REGISTRY
+    if registry is None:
+        from .. import obs
+
+        registry = _OBS_REGISTRY = obs.registry()
+    if _OBS_INSTRUMENTS["generation"] != registry.generation:
+        _OBS_INSTRUMENTS.update(
+            generation=registry.generation,
+            gemm_compiled=registry.histogram("nn.gemm_ms", kernel="compiled"),
+            gemm_einsum=registry.histogram("nn.gemm_ms", kernel="einsum"),
+            gemm_threads=registry.histogram("nn.gemm_threads"),
+            cell_gru=registry.histogram("nn.cell_ms", cell="gru"),
+            cell_lstm=registry.histogram("nn.cell_ms", cell="lstm"),
+        )
+    return _OBS_INSTRUMENTS
+
+
+def _observe_cell_ms(cell: str, t0: float) -> None:
+    """Record one fused-cell timing (enabled-telemetry paths only)."""
+    _obs_instruments()["cell_" + cell].observe((time.perf_counter() - t0) * 1000.0)
+
+
+# Kernel timers are stride-sampled: one call in _OBS_STRIDE gets the clock
+# treatment.  A serving flush issues several sub-10-microsecond GEMMs, so
+# timing every one would cost a measurable fraction of the kernel itself;
+# a deterministic 1-in-16 sample keeps the nn.gemm_ms / nn.cell_ms
+# distributions honest (the stride is phase-blind) at ~1/16th the overhead.
+# Deterministic — no RNG draw — so enabling telemetry perturbs no seeded
+# stream.  The tick is a single-slot list, not an int, so the hot path
+# mutates in place instead of rebinding a global.
+_OBS_STRIDE = 16
+_OBS_MATMUL_TICK = [0]
+_OBS_CELL_TICK = [0]
+
+
 class ReferenceBackend(ExecutionBackend):
     """The original einsum + numpy path — the oracle every fast path is
     tested against.
@@ -1181,6 +1231,11 @@ class BlockedBackend(ExecutionBackend):
     row_consistent = True
 
     def matmul2d(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if _obs_state.enabled:
+            tick = _OBS_MATMUL_TICK
+            tick[0] += 1
+            if tick[0] % _OBS_STRIDE == 0:
+                return self._matmul2d_timed(a, b)
         kernel = _ensure_kernel()
         if kernel is None:
             return np.einsum("ik,kh->ih", a, b)
@@ -1193,9 +1248,52 @@ class BlockedBackend(ExecutionBackend):
             return kernel.rc_gemm(a, b, threads)
         return kernel.rc_gemm(a, b)
 
+    def _matmul2d_timed(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Enabled-telemetry twin of :meth:`matmul2d` — same dispatch, plus a
+        ``nn.gemm_ms`` timer and a ``nn.gemm_threads`` occupancy histogram
+        (stride-sampled; see ``_OBS_STRIDE``).
+
+        Timing wraps the identical kernel calls (telemetry reads clocks
+        only), so results stay bit-identical to the untimed path.
+        """
+        instruments = _obs_instruments()
+        kernel = _ensure_kernel()
+        pool_threads = 1
+        t0 = time.perf_counter()
+        if kernel is None:
+            out = np.einsum("ik,kh->ih", a, b)
+            gemm_hist = instruments["gemm_einsum"]
+        else:
+            gemm_hist = instruments["gemm_compiled"]
+            threads = _THREADS
+            if (
+                threads > 1
+                and a.shape[0] > 1
+                and a.shape[0] * a.shape[1] * b.shape[1] >= _THREAD_MIN_WORK
+            ):
+                pool_threads = threads
+                out = kernel.rc_gemm(a, b, threads)
+            else:
+                out = kernel.rc_gemm(a, b)
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        gemm_hist.observe(elapsed_ms)
+        instruments["gemm_threads"].observe(pool_threads)
+        return out
+
     def gru_gates(
         self, gx: np.ndarray, gh: np.ndarray, b: np.ndarray, hidden: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if _obs_state.enabled:
+            tick = _OBS_CELL_TICK
+            tick[0] += 1
+            if tick[0] % _OBS_STRIDE == 0:
+                t0 = time.perf_counter()
+                result = self._gru_gates(gx, gh, b, hidden)
+                _observe_cell_ms("gru", t0)
+                return result
+        return self._gru_gates(gx, gh, b, hidden)
+
+    def _gru_gates(self, gx, gh, b, hidden):
         kernel = _gates_kernel()
         if (
             kernel is not None
@@ -1209,6 +1307,17 @@ class BlockedBackend(ExecutionBackend):
     def lstm_gates(
         self, gx: np.ndarray, gh: np.ndarray, b: np.ndarray, cell: np.ndarray
     ) -> Tuple[np.ndarray, ...]:
+        if _obs_state.enabled:
+            tick = _OBS_CELL_TICK
+            tick[0] += 1
+            if tick[0] % _OBS_STRIDE == 0:
+                t0 = time.perf_counter()
+                result = self._lstm_gates(gx, gh, b, cell)
+                _observe_cell_ms("lstm", t0)
+                return result
+        return self._lstm_gates(gx, gh, b, cell)
+
+    def _lstm_gates(self, gx, gh, b, cell):
         kernel = _gates_kernel()
         if (
             kernel is not None

@@ -1,0 +1,17 @@
+"""Process-wide telemetry switch.
+
+Kept in its own tiny module so hot paths can gate on one attribute read::
+
+    from ..obs import _state as _obs_state
+    ...
+    if _obs_state.enabled:
+        <record>
+
+``enabled`` is flipped by :func:`repro.obs.enable` / :func:`repro.obs.disable`
+(or the ``REPRO_TELEMETRY`` environment variable at import time) and is the
+*only* piece of telemetry state instrumented code should consult before
+doing any work: when it is ``False`` the instrumentation must cost one
+attribute lookup and one branch, nothing else.
+"""
+
+enabled: bool = False

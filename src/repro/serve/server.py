@@ -37,12 +37,14 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.actor_critic import GaussianActor
 from ..core.config import AmoebaConfig
 from ..core.profiles import ProfileDatabase
 from ..core.state_encoder import StateEncoder
 from ..nn import backend as nn_backend
 from ..nn.serialization import load_state_dict, split_prefixed_state
+from ..obs import _state as _obs_state
 from ..utils.rng import ensure_rng
 from .fastpath import Float32ServingPath
 from .scheduler import ContinuousBatchScheduler, DecisionRequest
@@ -55,6 +57,15 @@ from .session import (
 )
 
 __all__ = ["ServeConfig", "PolicyServer", "build_policy_from_state", "summarize_stats"]
+
+# Distinguishes the registry series of multiple PolicyServer instances in
+# one process (sharded serving workers each fork with their own count).
+_SERVER_IDS = itertools.count()
+
+# Every flush opens a ``serve.flush`` span; only every N-th also opens the
+# per-phase child spans (see the head-sampling comment in ``flush``).
+_TRACE_DETAIL_STRIDE = 8
+_NULL_SPAN = obs.NULL_SPAN
 
 
 @dataclass(frozen=True)
@@ -292,16 +303,28 @@ class PolicyServer:
         self._outbox: List[ShapingDecision] = []
         self._reports: List[SessionReport] = []
 
-        # Aggregate counters (the stats() payload).  Demotions are not
-        # counted here: stats() derives them from session/report status so
-        # the metric stays authoritative however a session was demoted
-        # (deadline tracker or an operator calling FlowSession.demote()).
-        self._sessions_opened = 0
-        self._sessions_closed = 0
-        self._decisions = 0
-        self._deadline_misses = 0
-        self._flushes = 0
+        # Aggregate counters (the stats() payload), registry-backed so the
+        # telemetry exporters see them for free; the ``server`` label keeps
+        # multiple in-process servers (sharded serving workers, tests)
+        # distinguishable.  Demotions are not counted here: stats() derives
+        # them from session/report status so the metric stays authoritative
+        # however a session was demoted (deadline tracker or an operator
+        # calling FlowSession.demote()).
+        labels = {"server": str(next(_SERVER_IDS))}
+        registry = obs.registry()
+        self._sessions_opened = registry.counter("serve.sessions_opened", **labels)
+        self._sessions_closed = registry.counter("serve.sessions_closed", **labels)
+        self._decisions = registry.counter("serve.decisions", **labels)
+        self._deadline_misses = registry.counter("serve.deadline_misses", **labels)
+        self._flushes = registry.counter("serve.flushes", **labels)
+        # Enabled-mode instruments (histograms/gauge are observed only when
+        # telemetry is on; the counters above are always live because they
+        # back the public stats() API).
+        self._flush_size_hist = registry.histogram("serve.flush_size", **labels)
+        self._latency_hist = registry.histogram("serve.decision_latency_ms", **labels)
+        self._queue_depth_gauge = registry.gauge("serve.queue_depth", **labels)
         self._latencies_ms: Deque[float] = deque(maxlen=self.config.latency_history)
+        self._flush_tick = 0  # drives child-span head sampling in flush()
 
     # ------------------------------------------------------------------ #
     # Construction from a checkpoint
@@ -389,7 +412,7 @@ class PolicyServer:
             protocol=protocol,
             state_dtype=np.float32 if self._fastpath is not None else np.float64,
         )
-        self._sessions_opened += 1
+        self._sessions_opened.inc()
         return session_id
 
     def submit(self, session_id: str, size: float, delay_ms: float) -> None:
@@ -417,7 +440,7 @@ class PolicyServer:
             if payload is not None and self.profile_db is not None and len(self.profile_db):
                 session.profile_result = self.profile_db.embed_flow(payload, rng=self._rng)
         report = session.close()
-        self._sessions_closed += 1
+        self._sessions_closed.inc()
         self._reports.append(report)
         return report
 
@@ -454,6 +477,7 @@ class PolicyServer:
         and one deterministic ``act_batch`` forward; row-consistent matmuls
         make each session's row independent of the batch composition.
         """
+        telemetry = _obs_state.enabled
         batch = self._scheduler.take_batch()
         # Sessions may have left the online tier (demotion, close) between
         # enqueue and flush; their requests are dropped silently.
@@ -469,55 +493,79 @@ class PolicyServer:
         ]
         if not live:
             return []
-        self._flushes += 1
+        self._flushes.inc()
+        if telemetry:
+            self._flush_size_hist.observe(len(live))
+        # Child-span head sampling: the parent ``serve.flush`` span times
+        # every flush, but the per-phase children (fold/act/apply) open only
+        # on every ``_TRACE_DETAIL_STRIDE``-th flush — a sub-millisecond
+        # flush cannot afford three extra spans each time, and one detailed
+        # trace per stride answers "where does a flush spend its time" just
+        # as well.  Deterministic (a flush counter, no RNG), so sampling
+        # never perturbs a seeded stream.
+        self._flush_tick += 1
+        detailed = telemetry and self._flush_tick % _TRACE_DETAIL_STRIDE == 0
+        with obs.span("serve.flush", batch=len(live)):
+            # 1) Fold the newly armed observations (one batched GRU step).
+            fold_rows = [
+                row
+                for row, (_, session) in enumerate(live)
+                if session.observation_pending_fold
+            ]
+            if fold_rows:
+                with obs.span("serve.fold", rows=len(fold_rows)) if detailed else _NULL_SPAN:
+                    observations = np.stack(
+                        [live[row][1].current_observation() for row in fold_rows]
+                    )
+                    folded = self._encode_step(
+                        observations,
+                        [live[row][1].observation_state for row in fold_rows],
+                    )
+                    for row, state in zip(fold_rows, folded):
+                        live[row][1].mark_observation_folded(state)
 
-        # 1) Fold the newly armed observations (one batched GRU step).
-        fold_rows = [
-            row for row, (_, session) in enumerate(live) if session.observation_pending_fold
-        ]
-        if fold_rows:
-            observations = np.stack(
-                [live[row][1].current_observation() for row in fold_rows]
-            )
-            folded = self._encode_step(
-                observations, [live[row][1].observation_state for row in fold_rows]
-            )
-            for row, state in zip(fold_rows, folded):
-                live[row][1].mark_observation_folded(state)
+            # 2) One deterministic policy forward for the whole batch.
+            with obs.span("serve.act") if detailed else _NULL_SPAN:
+                actions = self._act(live)
 
-        # 2) One deterministic policy forward for the whole batch.
-        actions = self._act(live)
+            # 3+4) Apply actions through the per-session emulator, then fold
+            # the emitted actions (one batched GRU step).  One span covers
+            # both: the action fold is part of committing the decision.
+            with obs.span("serve.apply") if detailed else _NULL_SPAN:
+                now = self._clock()
+                decisions: List[ShapingDecision] = []
+                for row, (request, session) in enumerate(live):
+                    latency_ms = max(0.0, (now - request.enqueued_at) * 1000.0)
+                    decision = session.apply_action(actions[row], latency_ms=latency_ms)
+                    decisions.append(decision)
+                    self._decisions.inc()
+                    self._latencies_ms.append(decision.latency_ms)
+                    if telemetry:
+                        self._latency_hist.observe(decision.latency_ms)
+                    if decision.deadline_missed:
+                        self._deadline_misses.inc()
 
-        # 3) Apply actions through the per-session emulator.
-        now = self._clock()
-        decisions: List[ShapingDecision] = []
-        for row, (request, session) in enumerate(live):
-            latency_ms = max(0.0, (now - request.enqueued_at) * 1000.0)
-            decision = session.apply_action(actions[row], latency_ms=latency_ms)
-            decisions.append(decision)
-            self._decisions += 1
-            self._latencies_ms.append(decision.latency_ms)
-            if decision.deadline_missed:
-                self._deadline_misses += 1
-
-        # 4) Fold the emitted actions (one batched GRU step).
-        recorded = np.stack([decision.recorded_action for decision in decisions])
-        folded_actions = self._encode_step(
-            recorded, [session.action_state for _, session in live]
-        )
-        for (_, session), state in zip(live, folded_actions):
-            session.mark_action_folded(state)
-
-        # 5) Re-arm follow-up work: truncation remainders continue the same
-        #    packet; completed packets pull the next one from the backlog.
-        requeue_at = self._clock()
-        for _, session in live:
-            if not session.online:
-                continue
-            if session.in_flight or session.arm_next():
-                self._scheduler.submit(
-                    DecisionRequest(session_id=session.session_id, enqueued_at=requeue_at)
+                recorded = np.stack([decision.recorded_action for decision in decisions])
+                folded_actions = self._encode_step(
+                    recorded, [session.action_state for _, session in live]
                 )
+                for (_, session), state in zip(live, folded_actions):
+                    session.mark_action_folded(state)
+
+            # 5) Re-arm follow-up work: truncation remainders continue the same
+            #    packet; completed packets pull the next one from the backlog.
+            requeue_at = self._clock()
+            for _, session in live:
+                if not session.online:
+                    continue
+                if session.in_flight or session.arm_next():
+                    self._scheduler.submit(
+                        DecisionRequest(
+                            session_id=session.session_id, enqueued_at=requeue_at
+                        )
+                    )
+        if telemetry:
+            self._queue_depth_gauge.set(self._scheduler.pending)
         self._outbox.extend(decisions)
         return decisions
 
@@ -545,13 +593,13 @@ class PolicyServer:
             if session.status == SessionStatus.DEMOTED
         )
         return {
-            "sessions_opened": self._sessions_opened,
-            "sessions_closed": self._sessions_closed,
+            "sessions_opened": int(self._sessions_opened.value),
+            "sessions_closed": int(self._sessions_closed.value),
             "sessions_demoted": demoted,
             "sessions_live": len(self._sessions),
-            "decisions": self._decisions,
-            "deadline_misses": self._deadline_misses,
-            "flushes": self._flushes,
+            "decisions": int(self._decisions.value),
+            "deadline_misses": int(self._deadline_misses.value),
+            "flushes": int(self._flushes.value),
             "latencies_ms": list(self._latencies_ms),
             "fallback_data_overheads": [r.data_overhead for r in profile_results],
             "fallback_fully_embedded": [bool(r.fully_embedded) for r in profile_results],

@@ -22,8 +22,11 @@ served it.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
+from ..obs import _state as _obs_state
 from .server import PolicyServer
 from .session import SessionReport
 from .worker import serve_worker_main
@@ -74,6 +77,9 @@ class ShardedPolicyServer:
         self._buffers: List[List[Tuple[str, float, float]]] = [[] for _ in range(n_workers)]
         self._closed = False
         self._decisions = 0
+        # Monotonic time of each shard's last successful reply, surfaced as
+        # worker_heartbeat_age_s in stats() (None before the first reply).
+        self._last_heartbeat: List[Optional[float]] = [None] * n_workers
 
         self._processes = []
         self._conns = []
@@ -111,6 +117,7 @@ class ShardedPolicyServer:
                 f"serving worker {shard} died; its sessions are lost "
                 "(serving state is not replayable)"
             ) from error
+        self._last_heartbeat[shard] = time.monotonic()
         if reply[0] == "error":
             raise RuntimeError(f"serving worker {shard} failed:\n{reply[1]}")
         return reply[1]
@@ -196,6 +203,20 @@ class ShardedPolicyServer:
                     merged.setdefault(key, []).extend(value)
                 else:
                     merged[key] = merged.get(key, 0) + value
+            if _obs_state.enabled:
+                # Fold this shard's metrics registry into the driver's,
+                # labelled by worker index (best effort, outside the merge
+                # above: registry series are telemetry, not the stats API).
+                try:
+                    entries = self._ask(shard, ("telemetry",))
+                except RuntimeError:
+                    entries = None
+                if entries:
+                    obs.merge_snapshot(entries, extra_labels={"worker": str(shard)})
+        now = time.monotonic()
+        merged["worker_heartbeat_age_s"] = [
+            None if beat is None else now - beat for beat in self._last_heartbeat
+        ]
         return merged
 
     # ------------------------------------------------------------------ #

@@ -14,8 +14,13 @@ command             payload                     reply
 ``drain``           —                           ``("result", n_decisions)``
 ``close_session``   session_id                  ``("result", SessionReport)``
 ``stats``           —                           ``("result", stats dict)``
+``telemetry``       —                           ``("result", obs snapshot)``
 ``close``           —                           ``("ok", None)``, then exit
 =================== =========================== ===========================
+
+``telemetry`` reads (and zeroes) the worker's own metrics registry so the
+driver can fold per-worker serving metrics — it never touches session
+state.
 
 Exceptions inside a command are caught and returned as ``("error",
 traceback)`` so the driver can re-raise them.  Unlike the rollout tier,
@@ -72,6 +77,10 @@ def serve_worker_main(conn, server_factory: Callable[[int], object], worker_inde
                 conn.send(("result", server.close_session(message[1])))
             elif command == "stats":
                 conn.send(("result", server.stats()))
+            elif command == "telemetry":
+                from .. import obs
+
+                conn.send(("result", obs.take_snapshot()))
             elif command == "close":
                 conn.send(("ok", None))
                 break

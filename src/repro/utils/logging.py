@@ -2,51 +2,113 @@
 
 from __future__ import annotations
 
+import itertools
 import logging
 import sys
 import time
-from typing import Dict, Optional
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from ..obs import metrics as _obs_metrics
 
 __all__ = ["get_logger", "TrainingLogger"]
 
 _FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
 
+# Distinguishes the gauges of multiple TrainingLogger instances sharing a
+# name in one process (e.g. several Amoeba agents in a sweep).
+_LOGGER_IDS = itertools.count()
 
-def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
-    """Return a configured logger that writes to stderr exactly once."""
+
+def get_logger(name: str, level: Optional[int] = None) -> logging.Logger:
+    """Return a configured logger that writes to stderr exactly once.
+
+    The level is applied only when the logger is first configured (handler
+    attached); later calls return the shared logger unchanged, so a caller
+    asking for a different ``level`` cannot silently mutate the logger other
+    modules already hold.  ``level=None`` means "INFO on first configuration,
+    whatever it already is afterwards".
+    """
     logger = logging.getLogger(name)
     if not logger.handlers:
         handler = logging.StreamHandler(sys.stderr)
         handler.setFormatter(logging.Formatter(_FORMAT))
         logger.addHandler(handler)
-    logger.setLevel(level)
-    logger.propagate = False
+        logger.setLevel(logging.INFO if level is None else level)
+        logger.propagate = False
     return logger
 
 
 class TrainingLogger:
-    """Accumulates scalar metrics per step and reports periodic summaries."""
+    """Accumulates scalar metrics per step and reports periodic summaries.
 
-    def __init__(self, name: str = "training", report_every: int = 0, logger: Optional[logging.Logger] = None) -> None:
-        self.history: Dict[str, list] = {}
+    Internals are registry-backed: every logged scalar lands in a
+    ``train.log.<key>`` gauge in the :mod:`repro.obs` metrics registry
+    (labelled by logger name and instance), so exporters and the
+    ``repro-amoeba telemetry`` CLI see training metrics without any change
+    to this class's public API.  ``history`` remains available for series
+    consumers; ``max_history`` bounds it to a sliding window per key
+    (``None`` — the default — keeps the historical keep-everything
+    behaviour for convergence plots).
+    """
+
+    def __init__(
+        self,
+        name: str = "training",
+        report_every: int = 0,
+        logger: Optional[logging.Logger] = None,
+        max_history: Optional[int] = None,
+    ) -> None:
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be >= 1 (or None for unbounded)")
+        self.history: Dict[str, Deque[float]] = {}
         self.report_every = report_every
+        self.max_history = max_history
         self._logger = logger or get_logger(name)
         self._start = time.monotonic()
         self._step = 0
+        self._labels = {"logger": name, "instance": str(next(_LOGGER_IDS))}
+        self._gauges: Dict[str, _obs_metrics.Gauge] = {}
+
+        # Lazy import avoidance: repro.obs is dependency-free, so importing
+        # the registry at module scope is safe; the instance just binds it.
+        from .. import obs as _obs
+
+        self._registry = _obs.registry()
+        self._steps_counter = self._registry.counter(
+            "train.log.steps", **self._labels
+        )
 
     def log(self, **metrics: float) -> None:
         """Record one step of scalar metrics."""
         self._step += 1
+        self._steps_counter.inc()
         for key, value in metrics.items():
-            self.history.setdefault(key, []).append(float(value))
+            value = float(value)
+            series = self.history.get(key)
+            if series is None:
+                series = self.history[key] = deque(maxlen=self.max_history)
+            series.append(value)
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = self._registry.gauge(
+                    f"train.log.{key}", **self._labels
+                )
+            gauge.set(value)
         if self.report_every and self._step % self.report_every == 0:
-            summary = ", ".join(f"{k}={v[-1]:.4f}" for k, v in self.history.items())
+            # Report only the metrics logged *this* step: a key that stopped
+            # being logged (e.g. a periodic test_asr) must not be repeated
+            # forever with its stale last value.
+            summary = ", ".join(f"{k}={float(v):.4f}" for k, v in metrics.items())
             elapsed = time.monotonic() - self._start
             self._logger.info("step %d (%.1fs): %s", self._step, elapsed, summary)
 
     def latest(self, key: str, default: float = float("nan")) -> float:
-        values = self.history.get(key)
-        return values[-1] if values else default
+        """Most recent value for ``key`` (registry-gauge-backed)."""
+        gauge = self._gauges.get(key)
+        if gauge is not None:
+            return gauge.value
+        return default
 
     def series(self, key: str) -> list:
-        return list(self.history.get(key, []))
+        return list(self.history.get(key, ()))
