@@ -1,0 +1,170 @@
+"""Transport overhead: fork-pipe vs loopback TCP for the distributed tier.
+
+The transport abstraction (`repro.distrib.transport`) moves the sharded
+engine's command protocol over either a forked pipe pair or a
+length-prefixed TCP socket.  Neither backend draws RNG or touches a
+numeric path, so the merged rollouts must stay bit-identical — this
+benchmark asserts that, then reports what the byte-moving itself costs:
+
+* **checkpoint broadcast** — one ``state_dict_to_bytes`` payload framed
+  once and shipped to every worker (the per-iteration driver→worker leg);
+* **collect round-trip** — a full broadcast + collect + merge iteration,
+  the realistic steady-state cadence of training.
+
+Timings go to ``BENCH_transport.json``; the TCP/fork ratio is reported,
+not asserted against a floor — on loopback the pickle bytes are identical
+and the extra cost is socket framing plus a kernel round-trip, which on
+slow CI runners can disappear into scheduler noise.  A generous sanity
+bound catches pathological regressions (per-worker re-serialization,
+heartbeat storms) without flaking.
+
+Runs as a 2-worker CI smoke test, self-contained and under a minute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.censors import RandomForestCensor
+from repro.core import Amoeba, AmoebaConfig
+from repro.distrib import ShardedRolloutEngine
+from repro.features import FlowNormalizer
+from repro.flows import build_tor_dataset
+from repro.nn.serialization import state_dict_to_bytes
+from repro.utils.rng import collection_seed_tree
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_transport.json"
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+
+N_ENVS = 8
+N_WORKERS = 2
+ROLLOUT_LENGTH = 24 if SCALE != "full" else 64
+N_ITERATIONS = 2 if SCALE != "full" else 6
+N_BROADCASTS = 20 if SCALE != "full" else 100
+
+ARRAY_FIELDS = ("states", "actions", "log_probs", "values", "rewards", "dones")
+
+
+@pytest.fixture(scope="module")
+def transport_setup():
+    dataset = build_tor_dataset(
+        n_censored=40, n_benign=40, rng=np.random.default_rng(7), max_packets=30
+    )
+    splits = dataset.split(rng=np.random.default_rng(9))
+    normalizer = FlowNormalizer(size_scale=1460.0, delay_scale=200.0)
+    censor = RandomForestCensor(n_estimators=20, rng=3).fit(splits.clf_train.flows)
+    config = AmoebaConfig.for_tor(
+        n_envs=N_ENVS,
+        rollout_length=ROLLOUT_LENGTH,
+        max_episode_steps=40,
+        encoder_hidden=16,
+        actor_hidden=(32,),
+        critic_hidden=(32,),
+        reward_mask_rate=0.3,
+    )
+    return dict(
+        censor=censor,
+        normalizer=normalizer,
+        config=config,
+        flows=splits.attack_train.censored_flows,
+    )
+
+
+def _fresh_agent(setup) -> Amoeba:
+    return Amoeba(
+        setup["censor"],
+        setup["normalizer"],
+        setup["config"],
+        rng=42,
+        encoder_pretrain_kwargs=dict(n_flows=20, max_length=10, epochs=1),
+    )
+
+
+def _run_leg(setup, transport):
+    """One transport leg: timed broadcasts, then timed collect iterations."""
+    agent = _fresh_agent(setup)
+    tree = collection_seed_tree(agent._rng, N_ENVS)
+    engine = ShardedRolloutEngine.for_agent(
+        agent, setup["flows"], tree, N_WORKERS, transport=transport
+    )
+    payload = state_dict_to_bytes(agent._policy_state())
+    try:
+        # Warm the workers (spawn + first turnaround) outside the timing.
+        engine.broadcast(payload)
+
+        start = time.perf_counter()
+        for _ in range(N_BROADCASTS):
+            engine.broadcast(payload)
+        broadcast_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rollouts = []
+        for _ in range(N_ITERATIONS):
+            engine.broadcast(payload)
+            rollouts.append(engine.collect(ROLLOUT_LENGTH))
+        collect_time = time.perf_counter() - start
+    finally:
+        engine.close()
+    return rollouts, len(payload), broadcast_time, collect_time
+
+
+def test_transport_overhead_and_bit_equivalence(transport_setup):
+    fork_rollouts, payload_bytes, fork_bcast, fork_collect = _run_leg(
+        transport_setup, "fork"
+    )
+    tcp_rollouts, _, tcp_bcast, tcp_collect = _run_leg(transport_setup, "tcp")
+
+    # Bit-equivalence first: the transport moves bytes, never numerics.
+    for fork, tcp in zip(fork_rollouts, tcp_rollouts):
+        for name in ARRAY_FIELDS:
+            assert np.array_equal(getattr(tcp, name), getattr(fork, name)), name
+        assert np.array_equal(tcp.final_states, fork.final_states)
+        assert tcp.query_delta == fork.query_delta
+
+    total_steps = N_ITERATIONS * ROLLOUT_LENGTH * N_ENVS
+    collect_ratio = tcp_collect / fork_collect
+    results = {
+        "n_envs": N_ENVS,
+        "workers": N_WORKERS,
+        "rollout_length": ROLLOUT_LENGTH,
+        "iterations": N_ITERATIONS,
+        "broadcasts": N_BROADCASTS,
+        "checkpoint_bytes": payload_bytes,
+        "cpu_count": os.cpu_count() or 1,
+        "fork": {
+            "broadcast_ms": round(1e3 * fork_bcast / N_BROADCASTS, 3),
+            "collect_seconds": round(fork_collect, 4),
+            "steps_per_s": round(total_steps / fork_collect, 1),
+        },
+        "tcp": {
+            "broadcast_ms": round(1e3 * tcp_bcast / N_BROADCASTS, 3),
+            "collect_seconds": round(tcp_collect, 4),
+            "steps_per_s": round(total_steps / tcp_collect, 1),
+            "collect_ratio_vs_fork": round(collect_ratio, 2),
+        },
+        "bit_equivalent": True,
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(
+        f"\ntransport overhead, n_envs={N_ENVS}, workers={N_WORKERS}, "
+        f"checkpoint={payload_bytes / 1024:.1f} KiB:\n"
+        f"  broadcast: fork {1e3 * fork_bcast / N_BROADCASTS:7.3f} ms   "
+        f"tcp {1e3 * tcp_bcast / N_BROADCASTS:7.3f} ms\n"
+        f"  collect:   fork {total_steps / fork_collect:8.1f} steps/s   "
+        f"tcp {total_steps / tcp_collect:8.1f} steps/s "
+        f"({collect_ratio:.2f}x fork time)\n"
+        f"  results written to {RESULTS_PATH.name}"
+    )
+
+    # Sanity bound only (see module docstring): loopback TCP must stay in
+    # the same order of magnitude as the fork pipe.
+    assert collect_ratio <= 5.0, (
+        f"TCP collect pathologically slow vs fork: {collect_ratio:.2f}x"
+    )

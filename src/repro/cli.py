@@ -21,6 +21,9 @@ without writing Python:
 * ``repro-amoeba backends`` — print the execution-backend diagnostic: which
   backends are registered, whether the compiled GEMM / fused-cell kernels
   loaded, the compile error if they did not, and the thread configuration;
+* ``repro-amoeba worker-host`` — run the TCP worker-host daemon that donates
+  this machine's cores to remote drivers (``attack --transport
+  tcp://host:port`` places collection/serving/sweep workers here);
 * ``repro-amoeba info`` — print the library version and experiment index.
 
 Examples
@@ -103,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="double-buffer sharded collection: overlap each PPO update with "
         "the next collect (requires --workers)",
     )
+    attack.add_argument(
+        "--transport",
+        default=None,
+        help="worker placement: 'fork' (default), 'tcp' (private loopback "
+        "worker host), or 'tcp://host:port[,host:port...]' pointing at "
+        "repro-amoeba worker-host daemons (requires --workers)",
+    )
     attack.add_argument("--save-policy", default=None, help="path to save the trained policy (.npz)")
     attack.add_argument("--save-adversarial", default=None, help="path to save adversarial flows (JSONL)")
 
@@ -124,7 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-decision latency budget; repeated misses demote a "
                        "session to the offline profile tier")
     serve.add_argument("--workers", type=int, default=0,
-                       help="shard sessions across this many forked serving workers (0 = in-process)")
+                       help="shard sessions across this many serving workers (0 = in-process)")
+    serve.add_argument("--transport", default=None,
+                       help="serving-worker placement: 'fork' (default), 'tcp', or "
+                       "'tcp://host:port[,host:port...]' (requires --workers)")
     serve.add_argument("--backend", choices=("blocked", "reference", "float32"), default=None,
                        help="execution backend for policy forwards (default: process default; "
                        "float32 trades the serve/attack bit-equivalence contract for speed)")
@@ -152,6 +165,19 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "backends", help="print the execution-backend diagnostic (kernels, threads, fallbacks)"
     )
+
+    worker_host = subparsers.add_parser(
+        "worker-host",
+        help="run the TCP worker-host daemon: accepts worker connections "
+        "from remote drivers (train/serve/sweep --transport tcp://...)",
+    )
+    worker_host.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="host:port to listen on (port 0 picks a free port; bind "
+        "0.0.0.0:PORT to accept remote drivers)",
+    )
+
     subparsers.add_parser("info", help="print version and experiment index")
     return parser
 
@@ -188,6 +214,8 @@ def _command_attack(args: argparse.Namespace) -> int:
     if args.pipeline and not args.workers:
         # Fail fast on the argument error, before the dataset build.
         raise SystemExit("--pipeline requires --workers (double-buffered sharded collection)")
+    if args.transport and not args.workers:
+        raise SystemExit("--transport requires --workers (it places worker processes)")
     data = prepare_experiment_data(
         args.dataset, n_censored=args.flows, n_benign=args.flows, max_packets=args.max_packets, rng=args.seed
     )
@@ -203,6 +231,7 @@ def _command_attack(args: argparse.Namespace) -> int:
         rng=args.seed + 2,
         workers=args.workers or None,
         pipeline=True if args.pipeline else None,
+        transport=args.transport,
     )
     report = agent.evaluate(data.splits.test.censored_flows[: args.eval_flows])
     print(
@@ -279,8 +308,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     def make_server(_index: int = 0) -> PolicyServer:
         return PolicyServer(actor, encoder, config=config, profile_db=profile_db)
 
+    if args.transport and not args.workers:
+        raise SystemExit("--transport requires --workers (it places worker processes)")
     if args.workers:
-        with ShardedPolicyServer(make_server, n_workers=args.workers) as server:
+        with ShardedPolicyServer(
+            make_server, n_workers=args.workers, transport=args.transport
+        ) as server:
             report = run_workload(server, workload)
     else:
         report = run_workload(make_server(), workload)
@@ -437,6 +470,30 @@ def _command_backends(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_worker_host(args: argparse.Namespace) -> int:
+    """Run the TCP worker-host daemon until interrupted.
+
+    Each accepted connection is answered by a freshly forked worker process
+    running the requested entrypoint (rollout / serve / sweep); the daemon
+    itself holds no policy or experiment state, so one host serves any
+    number of drivers in sequence or in parallel.
+    """
+    from .distrib.transport import WorkerHostServer
+
+    host, _, port = args.bind.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--bind must look like host:port, got {args.bind!r}")
+    server = WorkerHostServer(host, int(port))
+    print(f"worker host listening on {server.address} (ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("worker host shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _command_info(_: argparse.Namespace) -> int:
     print(f"repro {__version__} — reproduction of Amoeba (CoNEXT 2023)")
     print("experiments: see DESIGN.md (per-experiment index) and EXPERIMENTS.md (paper vs measured)")
@@ -454,6 +511,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _command_serve,
         "telemetry": _command_telemetry,
         "backends": _command_backends,
+        "worker-host": _command_worker_host,
         "info": _command_info,
     }
     return handlers[args.command](args)

@@ -228,6 +228,7 @@ class Amoeba:
         vectorized: bool = True,
         workers: Optional[int] = None,
         pipeline: Optional[bool] = None,
+        transport: Optional[str] = None,
     ) -> TrainingLogger:
         """Train the policy against the censor on the given censored flows.
 
@@ -240,13 +241,18 @@ class Amoeba:
         forward, one incremental encoder step and one censor score batch.
         ``vectorized=False`` keeps the per-environment reference loop.
 
-        ``workers`` shards collection across that many forked worker
-        processes (``n_envs`` must divide evenly): each worker hosts its
-        contiguous slice of the environment slots plus a censor replica, is
-        refreshed each iteration with the current actor/critic/encoder
-        checkpoint, and returns its rollout segment for a deterministic
-        merge; PPO updates stay in this process.  A crashed worker is
-        restarted by command-log replay without corrupting the rollout.
+        ``workers`` shards collection across that many worker processes
+        (``n_envs`` must divide evenly): each worker hosts its contiguous
+        slice of the environment slots plus a censor replica, is refreshed
+        each iteration with the current actor/critic/encoder checkpoint,
+        and returns its rollout segment for a deterministic merge; PPO
+        updates stay in this process.  A crashed worker is restarted by
+        command-log replay without corrupting the rollout.  ``transport``
+        selects where those workers live — ``None``/``"fork"`` for local
+        forks (the default), ``"tcp"`` / ``"tcp://host:port,..."`` for
+        workers behind ``repro-amoeba worker-host`` daemons (see
+        :mod:`repro.distrib.transport`); the merged rollout is
+        bit-identical whichever transport carried it.
 
         ``pipeline`` (default ``config.pipeline_collection``, i.e. off)
         double-buffers sharded collection: each iteration the driver merges
@@ -277,6 +283,8 @@ class Amoeba:
             # single-env scoring batch shape; silently running it sharded
             # (and therefore vectorized) would defeat that purpose.
             raise ValueError("workers requires the vectorized engine (vectorized=True)")
+        if transport is not None and workers is None:
+            raise ValueError("transport requires workers: it places worker processes")
         pipeline = self.config.pipeline_collection if pipeline is None else bool(pipeline)
         if pipeline and workers is None:
             raise ValueError(
@@ -301,7 +309,9 @@ class Amoeba:
         if workers is not None:
             from ..distrib.sharded import ShardedRolloutEngine
 
-            engine = ShardedRolloutEngine.for_agent(self, flows, seed_tree, workers)
+            engine = ShardedRolloutEngine.for_agent(
+                self, flows, seed_tree, workers, transport=transport
+            )
         elif vectorized:
             # The in-process vectorized path is one inline shard hosting all
             # slots — the same collection kernel the workers run, so there

@@ -77,6 +77,7 @@ def run_arms_race(
     config: Optional[AmoebaConfig] = None,
     eval_batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    transport: Optional[str] = None,
     rng=None,
 ) -> ArmsRaceResult:
     """Run ``n_rounds`` of censor-retrains / attacker-retrains.
@@ -104,7 +105,10 @@ def run_arms_race(
         own ``max(n_envs, 8)`` sizing).
     workers:
         When set, each round's rollout collection is sharded across that
-        many forked worker processes (``Amoeba.train(workers=...)``).
+        many worker processes (``Amoeba.train(workers=...)``).
+    transport:
+        Worker placement spec passed through to ``Amoeba.train`` (fork
+        default; ``"tcp://host:port,..."`` for cross-host collection).
     """
     if n_rounds < 1:
         raise ValueError("n_rounds must be >= 1")
@@ -125,7 +129,12 @@ def run_arms_race(
 
         # 2. Attacker trains a fresh agent against the updated censor.
         agent = Amoeba(censor, normalizer, config, rng=round_rng)
-        agent.train(attack_train_flows, total_timesteps=amoeba_timesteps, workers=workers)
+        agent.train(
+            attack_train_flows,
+            total_timesteps=amoeba_timesteps,
+            workers=workers,
+            transport=transport,
+        )
         report = agent.evaluate(eval_flows)
 
         # 3. Censor harvests a uniform sample of this round's adversarial

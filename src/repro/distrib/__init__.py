@@ -1,16 +1,24 @@
-"""Distributed rollout collection and sweep orchestration.
+"""Distributed rollout collection, sweep orchestration and transports.
 
 This package hosts the multi-process tier of the reproduction:
 
+``repro.distrib.transport``
+    The transport tier — one framed command protocol
+    (:func:`worker_command_loop`), two backends
+    (:class:`ForkPipeTransport` pipes to local forks,
+    :class:`TcpTransport` length-prefixed frames to workers on any host
+    via :class:`WorkerHostServer` daemons), and the worker pools every
+    driver places workers through.
 ``repro.distrib.shard``
     :class:`ShardRunner` — the per-process collection kernel: a
     :class:`~repro.core.vec_env.VectorFlowEnv` shard, its incremental state
     tracker, per-slot exploration-noise streams and actor/critic/encoder
     replicas refreshed from broadcast checkpoints.
 ``repro.distrib.sharded``
-    :class:`ShardedRolloutEngine` — forks W workers, broadcasts checkpoints
-    as bytes, merges per-shard rollout segments deterministically, and
-    restarts crashed workers by deterministic command-log replay.
+    :class:`ShardedRolloutEngine` — drives W workers, broadcasts checkpoints
+    as bytes (serialized once per broadcast), merges per-shard rollout
+    segments deterministically, and restarts crashed workers by
+    deterministic command-log replay.
 ``repro.distrib.sweep``
     :class:`SweepOrchestrator` — schedules independent experiment grid
     points (arms-race rounds, reward-masking sweeps) across a worker pool
@@ -19,13 +27,28 @@ This package hosts the multi-process tier of the reproduction:
 Determinism contract: under :func:`repro.nn.row_consistent_matmul`, sharded
 collection with ``W × n_envs_per_shard`` environments is bit-equivalent to
 single-process vectorized collection with the same ``n_envs`` — identical
-buffers, rewards, episode summaries and per-flow censor query counts.  See
-the seed-tree layout in :mod:`repro.utils.rng`.
+buffers, rewards, episode summaries and per-flow censor query counts,
+whichever transport carried the shards.  See the seed-tree layout in
+:mod:`repro.utils.rng`.
 """
 
 from .shard import ShardResult, ShardRunner
 from .sharded import MergedRollout, ShardedRolloutEngine
 from .sweep import SweepOrchestrator, SweepTask, SweepTaskRecord, amoeba_grid_task
+from .transport import (
+    ForkPipeTransport,
+    ForkWorkerPool,
+    TcpTransport,
+    TcpWorkerPool,
+    Transport,
+    TransportError,
+    WorkerEndpoint,
+    WorkerHostServer,
+    WorkerPool,
+    make_worker_pool,
+    start_local_worker_host,
+    worker_command_loop,
+)
 
 __all__ = [
     "ShardRunner",
@@ -36,4 +59,16 @@ __all__ = [
     "SweepTask",
     "SweepTaskRecord",
     "amoeba_grid_task",
+    "Transport",
+    "TransportError",
+    "ForkPipeTransport",
+    "TcpTransport",
+    "worker_command_loop",
+    "WorkerEndpoint",
+    "WorkerPool",
+    "ForkWorkerPool",
+    "TcpWorkerPool",
+    "WorkerHostServer",
+    "start_local_worker_host",
+    "make_worker_pool",
 ]

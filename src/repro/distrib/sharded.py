@@ -1,7 +1,9 @@
-"""Sharded rollout engine: W forked collection workers, one merged rollout.
+"""Sharded rollout engine: W collection workers, one merged rollout.
 
 The engine partitions the global environment batch into ``W`` contiguous
-shards, forks one worker process per shard (each hosting a
+shards, places one worker process per shard through the
+:mod:`repro.distrib.transport` tier (local forks by default, TCP worker
+hosts with ``transport="tcp://..."``; each worker hosts a
 :class:`~repro.distrib.shard.ShardRunner` — its own
 :class:`~repro.core.vec_env.VectorFlowEnv`, censor replica and per-slot
 seed streams), and drives them with two commands per PPO iteration:
@@ -45,7 +47,8 @@ Fault tolerance
 ---------------
 Workers are deterministic functions of (seed tree, command history).  The
 engine keeps a command log — broadcast payloads and collect lengths, in
-order — and restarts a crashed worker (pipe EOF / broken pipe) by forking
+order — and restarts a crashed worker (a broken transport: pipe EOF,
+socket reset, heartbeat timeout) by launching
 a fresh process and replaying the log, which fast-forwards the replacement
 to the exact state of the lost worker before re-answering the in-flight
 command.  This covers the asynchronous path too: a worker SIGKILLed while
@@ -65,20 +68,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-import multiprocessing
 import numpy as np
 
 from .. import obs
 from ..core.env import EpisodeSummary
 from ..obs import _state as _obs_state
 from .shard import ShardResult, ShardRunner
-from .worker import worker_main
+from .transport import (
+    Transport,
+    TransportError,
+    WorkerPool,
+    encode_message,
+    make_worker_pool,
+)
 
 __all__ = ["ShardedRolloutEngine", "MergedRollout"]
-
-_PIPE_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
 
 
 @dataclass
@@ -106,24 +112,68 @@ class MergedRollout:
 @dataclass
 class _WorkerHandle:
     index: int
-    process: multiprocessing.Process
-    conn: object
+    process: object
+    conn: Transport
+
+
+class _AgentShardFactory:
+    """Picklable runner factory for one agent's contiguous seed-tree shards.
+
+    A plain class (not a closure) so explicit ``tcp://host:port`` worker
+    hosts can receive it by pickle; under the default fork placement it is
+    inherited copy-on-write exactly like the closure it replaced.
+    """
+
+    def __init__(
+        self, actor, critic, encoder, censor, normalizer, config, flows, seed_tree, shard_size
+    ) -> None:
+        self.actor = actor
+        self.critic = critic
+        self.encoder = encoder
+        self.censor = censor
+        self.normalizer = normalizer
+        self.config = config
+        self.flows = flows
+        self.seed_tree = seed_tree
+        self.shard_size = shard_size
+
+    def __call__(self, worker_index: int) -> ShardRunner:
+        low = worker_index * self.shard_size
+        return ShardRunner(
+            actor=self.actor,
+            critic=self.critic,
+            encoder=self.encoder,
+            censor=self.censor,
+            normalizer=self.normalizer,
+            config=self.config,
+            flows=self.flows,
+            seed_pairs=self.seed_tree[low : low + self.shard_size],
+        )
 
 
 class ShardedRolloutEngine:
-    """Forks W rollout workers and merges their shard segments.
+    """Drives W rollout workers and merges their shard segments.
 
     Parameters
     ----------
     runner_factory:
         ``runner_factory(worker_index) -> ShardRunner``, executed *inside*
-        the freshly forked worker.  Closures are fine — the fork start
-        method never pickles them — which is also why ``fork`` is the only
-        supported start method.
+        the worker process.  Closures are fine under the default fork
+        placement (fork never pickles them); explicit ``tcp://`` worker
+        hosts need a picklable factory (a module-level callable such as
+        :class:`_AgentShardFactory`).
     n_workers:
         Number of worker processes (= number of shards).
     max_restarts:
         Restart budget per recovery attempt before the fault is re-raised.
+    transport:
+        Worker placement: ``None``/``"fork"`` for local forked workers (the
+        default, copy-on-write inheritance), ``"tcp"`` for a pool-owned
+        loopback worker host, ``"tcp://host:port,..."`` for external
+        :class:`~repro.distrib.transport.WorkerHostServer` daemons, or a
+        prebuilt :class:`~repro.distrib.transport.WorkerPool`.  Recovery,
+        merge and determinism are transport-independent: a broken channel
+        is a restartable fault whichever backend raised it.
     """
 
     def __init__(
@@ -131,17 +181,17 @@ class ShardedRolloutEngine:
         runner_factory: Callable[[int], ShardRunner],
         n_workers: int,
         max_restarts: int = 3,
+        transport: Union[None, str, WorkerPool] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
-        if "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError(
-                "ShardedRolloutEngine requires the 'fork' start method "
-                "(POSIX only): workers inherit censor replicas and network "
-                "architectures by copy-on-write instead of pickling"
-            )
-        self._context = multiprocessing.get_context("fork")
-        self._runner_factory = runner_factory
+        self._pool = make_worker_pool(
+            transport,
+            "rollout",
+            runner_factory,
+            name_prefix="repro-rollout-worker",
+            daemon=True,
+        )
         self._n_workers = n_workers
         self._max_restarts = max_restarts
         self._log: List[tuple] = []
@@ -176,6 +226,7 @@ class ShardedRolloutEngine:
         seed_tree: Sequence[Tuple[np.random.SeedSequence, np.random.SeedSequence]],
         n_workers: int,
         max_restarts: int = 3,
+        transport: Union[None, str, WorkerPool] = None,
     ) -> "ShardedRolloutEngine":
         """Build the engine for an :class:`~repro.core.agent.Amoeba` agent.
 
@@ -193,25 +244,20 @@ class ShardedRolloutEngine:
                 "so every shard hosts the same number of environment slots"
             )
         shard_size = n_envs // n_workers
-        actor, critic, encoder = agent.actor, agent.critic, agent.state_encoder
-        censor, normalizer, config = agent.censor, agent.normalizer, agent.config
-        flows = list(flows)
-        seed_tree = list(seed_tree)
-
-        def runner_factory(worker_index: int) -> ShardRunner:
-            pairs = seed_tree[worker_index * shard_size : (worker_index + 1) * shard_size]
-            return ShardRunner(
-                actor=actor,
-                critic=critic,
-                encoder=encoder,
-                censor=censor,
-                normalizer=normalizer,
-                config=config,
-                flows=flows,
-                seed_pairs=pairs,
-            )
-
-        return cls(runner_factory, n_workers, max_restarts=max_restarts)
+        runner_factory = _AgentShardFactory(
+            actor=agent.actor,
+            critic=agent.critic,
+            encoder=agent.state_encoder,
+            censor=agent.censor,
+            normalizer=agent.normalizer,
+            config=agent.config,
+            flows=list(flows),
+            seed_tree=list(seed_tree),
+            shard_size=shard_size,
+        )
+        return cls(
+            runner_factory, n_workers, max_restarts=max_restarts, transport=transport
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection (used by tests and benchmarks)
@@ -221,7 +267,8 @@ class ShardedRolloutEngine:
         return self._n_workers
 
     @property
-    def processes(self) -> List[multiprocessing.Process]:
+    def processes(self) -> List[object]:
+        """Per-worker process handles (``pid`` / ``is_alive`` / signals)."""
         return [handle.process for handle in self._workers]
 
     @property
@@ -285,13 +332,7 @@ class ShardedRolloutEngine:
             raise ValueError("n_ticks must be >= 1")
         message = ("collect", int(n_ticks))
         self._log.append(message)
-        failed: List[int] = []
-        for handle in self._workers:
-            try:
-                handle.conn.send(message)
-            except _PIPE_ERRORS:
-                failed.append(handle.index)
-        self._pending = failed
+        self._pending = self._send_all(message)
 
     def wait(self) -> MergedRollout:
         """Drain the in-flight :meth:`collect_async` and merge the segments.
@@ -350,7 +391,7 @@ class ShardedRolloutEngine:
             try:
                 handle.conn.send(("telemetry",))
                 reply = handle.conn.recv()
-            except _PIPE_ERRORS:
+            except TransportError:
                 continue
             self._last_heartbeat[handle.index] = time.monotonic()
             if reply[0] != "result":
@@ -373,7 +414,7 @@ class ShardedRolloutEngine:
                 try:
                     handle.conn.send(("close",))
                     handle.conn.recv()
-                except _PIPE_ERRORS:
+                except TransportError:
                     pass
         for handle in self._workers:
             if pending is not None and handle.process.is_alive():
@@ -384,10 +425,8 @@ class ShardedRolloutEngine:
             if handle.process.is_alive():
                 handle.process.terminate()
                 handle.process.join(timeout=5)
-            try:
-                handle.conn.close()
-            except OSError:
-                pass
+            handle.conn.close()
+        self._pool.close()
 
     def __enter__(self) -> "ShardedRolloutEngine":
         return self
@@ -405,28 +444,20 @@ class ShardedRolloutEngine:
     # Worker lifecycle
     # ------------------------------------------------------------------ #
     def _spawn(self, index: int) -> _WorkerHandle:
-        parent_conn, child_conn = self._context.Pipe()
-        process = self._context.Process(
-            target=worker_main,
-            args=(child_conn, self._runner_factory, index),
-            name=f"repro-rollout-worker-{index}",
-            daemon=True,
+        endpoint = self._pool.launch(index)
+        return _WorkerHandle(
+            index=index, process=endpoint.process, conn=endpoint.transport
         )
-        process.start()
-        # The parent must drop its reference to the child end, otherwise a
-        # dead worker never produces EOF on the parent's connection.
-        child_conn.close()
-        return _WorkerHandle(index=index, process=process, conn=parent_conn)
 
     def _respawn(self, index: int) -> _WorkerHandle:
         old = self._workers[index]
         if old.process.is_alive():
-            old.process.terminate()
+            # SIGKILL, not SIGTERM: _respawn only runs on workers whose
+            # channel already broke, and a wedged (e.g. stopped) process
+            # ignores SIGTERM — recovery must not stall on it.
+            old.process.kill()
         old.process.join(timeout=5)
-        try:
-            old.conn.close()
-        except OSError:
-            pass
+        old.conn.close()
         handle = self._spawn(index)
         self._workers[index] = handle
         return handle
@@ -442,6 +473,23 @@ class ShardedRolloutEngine:
                 "engine is broken (a collect round failed mid-drain); close() it"
             )
 
+    def _send_all(self, message: tuple) -> List[int]:
+        """Frame ``message`` once, ship the same buffer to every worker.
+
+        One serialization per broadcast, however many workers: a checkpoint
+        ``load`` pickles its ``.npz`` bytes exactly once (the replay log
+        holds the original message tuple, sharing the same payload object).
+        Returns the indices whose channel was already broken.
+        """
+        frame = encode_message(message)
+        failed: List[int] = []
+        for handle in self._workers:
+            try:
+                handle.conn.send_encoded(frame)
+            except TransportError:
+                failed.append(handle.index)
+        return failed
+
     def _command(self, message: tuple) -> list:
         """Send ``message`` to every worker; replay-recover crashed ones."""
         self._check_usable()
@@ -450,13 +498,7 @@ class ShardedRolloutEngine:
                 "a collect is in flight; call wait() before issuing new commands"
             )
         self._log.append(message)
-        failed: List[int] = []
-        for handle in self._workers:
-            try:
-                handle.conn.send(message)
-            except _PIPE_ERRORS:
-                failed.append(handle.index)
-        return self._drain(failed)
+        return self._drain(self._send_all(message))
 
     def _drain(self, failed: List[int]) -> list:
         """Collect one reply per worker, replay-recovering the ``failed``
@@ -468,7 +510,7 @@ class ShardedRolloutEngine:
             try:
                 replies[handle.index] = handle.conn.recv()
                 self._last_heartbeat[handle.index] = time.monotonic()
-            except _PIPE_ERRORS:
+            except TransportError:
                 failed.append(handle.index)
         for index in failed:
             replies[index] = self._recover(index)
@@ -522,7 +564,7 @@ class ShardedRolloutEngine:
                 assert reply is not None
                 self._last_heartbeat[index] = time.monotonic()
                 return reply
-            except _PIPE_ERRORS as error:
+            except TransportError as error:
                 last_error = error
                 continue
         raise RuntimeError(

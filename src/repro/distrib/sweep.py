@@ -3,11 +3,12 @@
 The arms-race and reward-masking studies (Sections 5.5.3 / 5.6.2) are grids
 of independent experiment points — each a full censor-train / Amoeba-train /
 evaluate cycle.  :class:`SweepOrchestrator` schedules such grids over a pool
-of forked worker processes: tasks are handed to idle workers, a crashed
-worker (pipe EOF) is restarted and its task re-queued up to
-``max_attempts`` times, and the outcome of every task — result payload or
-error, attempt count, worker id, wall-clock — is written to a JSON results
-manifest.
+of workers placed by the :mod:`repro.distrib.transport` tier (local forks by
+default, TCP worker hosts with ``transport="tcp://..."``): tasks are handed
+to idle workers, a crashed worker (broken transport) is restarted and its
+task re-queued up to ``max_attempts`` times, and the outcome of every task —
+result payload or error, attempt count, worker id, wall-clock — is written
+to a JSON results manifest.
 
 Unlike the sharded *rollout* workers (which share one training run and need
 deterministic replay), sweep tasks are independent, so recovery is simply
@@ -30,11 +31,21 @@ from multiprocessing.connection import wait as _wait_connections
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-import multiprocessing
+from .transport import (
+    Transport,
+    TransportError,
+    WorkerPool,
+    make_worker_pool,
+    worker_command_loop,
+)
 
-__all__ = ["SweepTask", "SweepTaskRecord", "SweepOrchestrator", "amoeba_grid_task"]
-
-_PIPE_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
+__all__ = [
+    "SweepTask",
+    "SweepTaskRecord",
+    "SweepOrchestrator",
+    "amoeba_grid_task",
+    "sweep_worker_entry",
+]
 
 
 @dataclass(frozen=True)
@@ -72,33 +83,43 @@ class SweepTaskRecord:
         return payload
 
 
-def _sweep_worker_main(conn, task_fn: Callable[[dict], dict], worker_index: int) -> None:
-    """Worker loop: run tasks until the pipe closes or ``close`` arrives."""
-    while True:
-        try:
-            message = conn.recv()
-        except _PIPE_ERRORS:
-            break
-        if message[0] == "close":
-            break
-        _, task_id, params = message
+def sweep_handlers(task_fn: Callable[[dict], dict]) -> Dict[str, Callable[..., tuple]]:
+    """The sweep command table: one ``task`` command, replies carry the id.
+
+    Task exceptions are caught *here* (not by the generic loop) so the
+    error reply keeps the sweep shape ``("error", task_id, traceback)`` —
+    the orchestrator matches results to tasks by id, not arrival order.
+    """
+
+    def run_task(task_id: str, params: dict) -> tuple:
         start = time.perf_counter()
         try:
             result = task_fn(params)
-            conn.send(("done", task_id, result, time.perf_counter() - start))
         except Exception:
-            try:
-                conn.send(("error", task_id, traceback.format_exc()))
-            except _PIPE_ERRORS:
-                break
-    conn.close()
+            return ("error", task_id, traceback.format_exc())
+        return ("done", task_id, result, time.perf_counter() - start)
+
+    return {"task": run_task}
+
+
+def sweep_worker_entry(
+    transport: Transport, task_fn: Callable[[dict], dict], worker_index: int
+) -> None:
+    """Transport-agnostic entry point of a sweep worker.
+
+    ``close`` is fire-and-forget in the sweep protocol (``close_reply=None``):
+    the orchestrator's shutdown never waits on a worker that may be hours
+    into a task.
+    """
+    del worker_index  # tasks carry their own identity
+    worker_command_loop(transport, sweep_handlers(task_fn), close_reply=None)
 
 
 @dataclass
 class _SweepWorker:
     index: int
-    process: multiprocessing.Process
-    conn: object
+    process: object
+    conn: Transport
     current: Optional[SweepTask] = None
 
 
@@ -116,6 +137,12 @@ class SweepOrchestrator:
         How many times a task may be scheduled before a crashing worker
         marks it failed.  A task that *raises* is failed immediately
         (exceptions are deterministic; only worker death is retried).
+    transport:
+        Worker placement: ``None``/``"fork"`` for local forked workers (the
+        default; tasks may nest their own rollout engines, so forked sweep
+        workers are non-daemonic), ``"tcp"`` or ``"tcp://host:port,..."``
+        for workers behind :class:`~repro.distrib.transport.WorkerHostServer`
+        daemons, or a prebuilt :class:`~repro.distrib.transport.WorkerPool`.
     """
 
     def __init__(
@@ -123,15 +150,19 @@ class SweepOrchestrator:
         task_fn: Callable[[dict], dict],
         n_workers: int = 2,
         max_attempts: int = 2,
+        transport: Union[None, str, WorkerPool] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
-        if "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError("SweepOrchestrator requires the 'fork' start method")
-        self._context = multiprocessing.get_context("fork")
-        self._task_fn = task_fn
+        self._pool = make_worker_pool(
+            transport,
+            "sweep",
+            task_fn,
+            name_prefix="repro-sweep-worker",
+            daemon=False,
+        )
         self._n_workers = n_workers
         self._max_attempts = max_attempts
         self._restart_budget = 0  # set per run()
@@ -139,24 +170,13 @@ class SweepOrchestrator:
 
     # ------------------------------------------------------------------ #
     def _spawn(self, index: int) -> _SweepWorker:
-        parent_conn, child_conn = self._context.Pipe()
-        # Non-daemonic on purpose: sweep tasks may themselves fork rollout
-        # workers (`amoeba_grid_task(collect_workers=...)` nests a
-        # ShardedRolloutEngine inside the task), and daemonic processes are
-        # not allowed children.  _shutdown() joins/terminates the pool, so
-        # nothing outlives the orchestrator.
-        process = self._context.Process(
-            target=_sweep_worker_main,
-            args=(child_conn, self._task_fn, index),
-            name=f"repro-sweep-worker-{index}",
-            daemon=False,
+        endpoint = self._pool.launch(index)
+        return _SweepWorker(
+            index=index, process=endpoint.process, conn=endpoint.transport
         )
-        process.start()
-        child_conn.close()
-        return _SweepWorker(index=index, process=process, conn=parent_conn)
 
     def _replace_worker(self, worker: _SweepWorker) -> None:
-        """Swap a dead worker's process/pipe for a fresh fork in place."""
+        """Swap a dead worker's process/channel for a fresh one in place."""
         if self.restarts_performed > self._restart_budget:
             raise RuntimeError(
                 f"sweep workers kept crashing ({self.restarts_performed} restarts "
@@ -164,10 +184,7 @@ class SweepOrchestrator:
                 "respawning forever"
             )
         worker.process.join(timeout=5)
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
+        worker.conn.close()
         replacement = self._spawn(worker.index)
         worker.process, worker.conn = replacement.process, replacement.conn
 
@@ -175,17 +192,24 @@ class SweepOrchestrator:
         for worker in workers:
             try:
                 worker.conn.send(("close",))
-            except _PIPE_ERRORS:
+            except TransportError:
                 pass
         for worker in workers:
             worker.process.join(timeout=5)
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(timeout=5)
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
+            worker.conn.close()
+
+    def close(self) -> None:
+        """Release the worker pool (terminates a pool-owned TCP host)."""
+        self._pool.close()
+
+    def __enter__(self) -> "SweepOrchestrator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def run(
@@ -250,7 +274,7 @@ class SweepOrchestrator:
                 try:
                     worker.conn.send(("task", task.task_id, task.params))
                     worker.current = task
-                except _PIPE_ERRORS:
+                except TransportError:
                     # Worker died while idle: restart it, then retry the task
                     # (its failed hand-off does not count as an attempt).
                     attempts[task.task_id] -= 1
@@ -263,7 +287,7 @@ class SweepOrchestrator:
         assert task is not None
         try:
             reply = worker.conn.recv()
-        except _PIPE_ERRORS:
+        except TransportError:
             worker.current = None
             self.restarts_performed += 1
             self._replace_worker(worker)
@@ -291,7 +315,12 @@ class SweepOrchestrator:
                 result=result,
             )
         else:
-            _, task_id, error = reply
+            # Sweep error replies carry the task id; generic loop errors
+            # (unknown command) do not — fall back to the in-flight task.
+            if len(reply) == 3:
+                _, task_id, error = reply
+            else:
+                task_id, error = task.task_id, reply[-1]
             records[task_id] = SweepTaskRecord(
                 task_id=task_id,
                 status="failed",
@@ -340,7 +369,8 @@ def amoeba_grid_task(params: dict) -> dict:
     * ``n_rounds``, ``amoeba_timesteps``, ``harvest_per_round``,
       ``eval_flows``, ``eval_batch_size`` — arms-race shape;
     * ``collect_workers`` — rollout workers *inside* the task (sharded
-      collection nests under sweep workers).
+      collection nests under sweep workers); ``collect_transport`` places
+      them (fork default, ``"tcp://..."`` for cross-host collection).
 
     Returns a JSON-serializable summary of the race trajectory.
     """
@@ -375,6 +405,7 @@ def amoeba_grid_task(params: dict) -> dict:
         eval_batch_size=params.get("eval_batch_size"),
         # 0 means in-process, matching the CLI's --workers convention.
         workers=params.get("collect_workers") or None,
+        transport=params.get("collect_transport"),
         rng=seed + 2,
     )
     return {

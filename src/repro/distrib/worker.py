@@ -1,9 +1,9 @@
-"""Rollout worker process: command loop around a :class:`ShardRunner`.
+"""Rollout worker: handler table around a :class:`ShardRunner`.
 
-Workers are forked (POSIX ``fork`` start method) so they inherit the censor
-replica, flow pool and network architectures by copy-on-write — nothing is
-pickled at spawn time.  Afterwards the engine and worker speak a tiny framed
-protocol over a duplex pipe:
+Workers speak the shared framed protocol of
+:mod:`repro.distrib.transport` — the command loop, error replies and
+broken-channel handling all live in :func:`worker_command_loop`; this
+module only supplies the rollout command table:
 
 ============ ======================= ==============================
 command      payload                 reply
@@ -22,59 +22,71 @@ the replay log — a restarted worker simply reports fresh (empty) metrics
 instead of replaying observations, and collection determinism is
 unaffected.
 
-Exceptions inside a command are caught and returned as ``("error",
-traceback)`` so the engine can re-raise them in the driver — a crashed
-process (pipe EOF) is the only condition treated as a restartable fault.
+Exceptions inside a command come back as ``("error", traceback)`` so the
+engine can re-raise them in the driver — only a broken transport (pipe
+EOF, socket reset, heartbeat loss) is treated as a restartable fault.
 """
 
 from __future__ import annotations
 
 import traceback
-from typing import Callable
+from typing import Callable, Dict
 
-__all__ = ["worker_main"]
+from .transport import ForkPipeTransport, Transport, TransportError, worker_command_loop
+
+__all__ = ["rollout_handlers", "rollout_worker_entry", "worker_main"]
 
 
-def worker_main(conn, runner_factory: Callable[[int], object], worker_index: int) -> None:
-    """Entry point of a forked rollout worker."""
+def rollout_handlers(runner) -> Dict[str, Callable[..., tuple]]:
+    """The rollout command table over one :class:`ShardRunner`."""
+
+    def load(payload: bytes) -> tuple:
+        runner.load_weights(payload)
+        return ("ok", None)
+
+    def collect(n_ticks: int) -> tuple:
+        return ("result", runner.collect(n_ticks))
+
+    def snapshot() -> tuple:
+        return ("result", runner.snapshot())
+
+    def restore(state) -> tuple:
+        runner.restore(state)
+        return ("ok", None)
+
+    def telemetry() -> tuple:
+        from .. import obs
+
+        return ("result", obs.take_snapshot())
+
+    return {
+        "load": load,
+        "collect": collect,
+        "snapshot": snapshot,
+        "restore": restore,
+        "telemetry": telemetry,
+    }
+
+
+def rollout_worker_entry(
+    transport: Transport, runner_factory: Callable[[int], object], worker_index: int
+) -> None:
+    """Transport-agnostic entry point of a rollout worker."""
     try:
         runner = runner_factory(worker_index)
     except Exception:
+        # A factory that cannot build its runner is a deterministic bug:
+        # answer the first command slot with the traceback and exit, so the
+        # driver raises instead of restarting forever.
         try:
-            conn.send(("error", traceback.format_exc()))
-        finally:
-            conn.close()
+            transport.send(("error", traceback.format_exc()))
+        except TransportError:
+            pass
+        transport.close()
         return
+    worker_command_loop(transport, rollout_handlers(runner))
 
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        command = message[0]
-        try:
-            if command == "load":
-                runner.load_weights(message[1])
-                conn.send(("ok", None))
-            elif command == "collect":
-                conn.send(("result", runner.collect(message[1])))
-            elif command == "snapshot":
-                conn.send(("result", runner.snapshot()))
-            elif command == "restore":
-                runner.restore(message[1])
-                conn.send(("ok", None))
-            elif command == "telemetry":
-                from .. import obs
 
-                conn.send(("result", obs.take_snapshot()))
-            elif command == "close":
-                conn.send(("ok", None))
-                break
-            else:
-                conn.send(("error", f"unknown worker command {command!r}"))
-        except Exception:
-            try:
-                conn.send(("error", traceback.format_exc()))
-            except (BrokenPipeError, OSError):
-                break
-    conn.close()
+def worker_main(conn, runner_factory: Callable[[int], object], worker_index: int) -> None:
+    """Forked-pipe entry point (kept for direct ``multiprocessing`` use)."""
+    rollout_worker_entry(ForkPipeTransport(conn), runner_factory, worker_index)

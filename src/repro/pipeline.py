@@ -157,13 +157,16 @@ def train_amoeba(
     eval_every: Optional[int] = None,
     workers: Optional[int] = None,
     pipeline: Optional[bool] = None,
+    transport: Optional[str] = None,
 ) -> Amoeba:
     """Train an Amoeba agent against one censor on the ``attack_train`` split.
 
-    ``workers`` shards rollout collection across that many forked worker
+    ``workers`` shards rollout collection across that many worker
     processes (see ``Amoeba.train``); ``None`` collects in-process.
     ``pipeline`` double-buffers sharded collection (PPO updates overlap the
     next collect); ``None`` defers to ``config.pipeline_collection``.
+    ``transport`` places the workers (``"fork"`` default, ``"tcp"``,
+    ``"tcp://host:port,..."`` — see :mod:`repro.distrib.transport`).
     """
     rng = ensure_rng(rng)
     if config is None:
@@ -179,6 +182,7 @@ def train_amoeba(
         eval_every=eval_every,
         workers=workers,
         pipeline=pipeline,
+        transport=transport,
     )
     return agent
 

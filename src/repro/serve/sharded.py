@@ -2,14 +2,15 @@
 
 One :class:`PolicyServer` handles thousands of sessions, but a single
 process only has one core's worth of GEMM throughput.
-:class:`ShardedPolicyServer` scales out the same API by forking ``W``
-serving workers (the :mod:`repro.distrib` command-pipe pattern: POSIX
-``fork``, policy weights inherited copy-on-write, framed commands over
-duplex pipes) and routing each session to one worker for its whole
-lifetime, so its incremental encoder state never crosses a process
-boundary.  Sessions are assigned round-robin at open time, which keeps the
-shards balanced under homogeneous load; packet submissions are buffered per
-shard and shipped in ``submit_many`` frames to amortise pipe round-trips.
+:class:`ShardedPolicyServer` scales out the same API by placing ``W``
+serving workers through the :mod:`repro.distrib.transport` tier (local
+forks by default — policy weights inherited copy-on-write — or TCP worker
+hosts with ``transport="tcp://..."``) and routing each session to one
+worker for its whole lifetime, so its incremental encoder state never
+crosses a process boundary.  Sessions are assigned round-robin at open
+time, which keeps the shards balanced under homogeneous load; packet
+submissions are buffered per shard and shipped in ``submit_many`` frames to
+amortise per-command round-trips.
 
 Each worker runs its own continuous-batching scheduler over its session
 subset — global batching across processes would serialise on the driver,
@@ -21,19 +22,16 @@ served it.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from .. import obs
+from ..distrib.transport import TransportError, WorkerPool, make_worker_pool
 from ..obs import _state as _obs_state
 from .server import PolicyServer
 from .session import SessionReport
-from .worker import serve_worker_main
 
 __all__ = ["ShardedPolicyServer"]
-
-_PIPE_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
 
 
 class ShardedPolicyServer:
@@ -43,14 +41,22 @@ class ShardedPolicyServer:
     ----------
     server_factory:
         ``server_factory(worker_index) -> PolicyServer``, executed inside
-        the freshly forked worker (closures are fine — ``fork`` never
-        pickles them).
+        the worker process (closures are fine under the default fork
+        placement — ``fork`` never pickles them; explicit ``tcp://`` hosts
+        need a picklable factory).
     n_workers:
         Number of serving workers (= session shards).
     submit_buffer:
         Packets buffered per shard before a ``submit_many`` frame is sent;
-        larger values amortise pipe overhead at the cost of added queueing
-        delay.  :meth:`poll` and :meth:`drain` always flush the buffers.
+        larger values amortise per-command overhead at the cost of added
+        queueing delay.  :meth:`poll` and :meth:`drain` always flush the
+        buffers.
+    transport:
+        Worker placement spec (``None``/``"fork"``/``"tcp"``/
+        ``"tcp://host:port,..."``) or a prebuilt
+        :class:`~repro.distrib.transport.WorkerPool`.  Whatever the
+        backend, a dead serving worker stays a *hard* error — sessions
+        hold live state that no transport can replay.
     """
 
     def __init__(
@@ -58,17 +64,19 @@ class ShardedPolicyServer:
         server_factory: Callable[[int], PolicyServer],
         n_workers: int,
         submit_buffer: int = 64,
+        transport: Union[None, str, WorkerPool] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if submit_buffer < 1:
             raise ValueError("submit_buffer must be >= 1")
-        if "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError(
-                "ShardedPolicyServer requires the 'fork' start method (POSIX "
-                "only): workers inherit the policy weights copy-on-write"
-            )
-        context = multiprocessing.get_context("fork")
+        self._pool = make_worker_pool(
+            transport,
+            "serve",
+            server_factory,
+            name_prefix="repro-serve-worker",
+            daemon=True,
+        )
         self._n_workers = n_workers
         self._submit_buffer = submit_buffer
         self._shard_of: Dict[str, int] = {}
@@ -84,17 +92,9 @@ class ShardedPolicyServer:
         self._processes = []
         self._conns = []
         for index in range(n_workers):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=serve_worker_main,
-                args=(child_conn, server_factory, index),
-                name=f"repro-serve-worker-{index}",
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._processes.append(process)
-            self._conns.append(parent_conn)
+            endpoint = self._pool.launch(index)
+            self._processes.append(endpoint.process)
+            self._conns.append(endpoint.transport)
 
     # ------------------------------------------------------------------ #
     @property
@@ -112,7 +112,7 @@ class ShardedPolicyServer:
         try:
             self._conns[shard].send(message)
             reply = self._conns[shard].recv()
-        except _PIPE_ERRORS as error:
+        except TransportError as error:
             raise RuntimeError(
                 f"serving worker {shard} died; its sessions are lost "
                 "(serving state is not replayable)"
@@ -227,7 +227,7 @@ class ShardedPolicyServer:
             try:
                 conn.send(("close",))
                 conn.recv()
-            except _PIPE_ERRORS:
+            except TransportError:
                 pass
         self._closed = True
         for process in self._processes:
@@ -236,10 +236,8 @@ class ShardedPolicyServer:
                 process.terminate()
                 process.join(timeout=5)
         for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
+            conn.close()
+        self._pool.close()
 
     def __enter__(self) -> "ShardedPolicyServer":
         return self

@@ -1,9 +1,8 @@
-"""Serving worker process: command loop around a :class:`PolicyServer`.
+"""Serving worker: handler table around a :class:`PolicyServer`.
 
-Same framed-pipe pattern as :mod:`repro.distrib.worker`: workers are forked
-(POSIX ``fork``), so the policy weights and configuration are inherited
-copy-on-write, and driver and worker then speak a tiny command protocol over
-a duplex pipe:
+Same shared framed protocol as :mod:`repro.distrib.worker` — the loop
+itself lives in :func:`repro.distrib.transport.worker_command_loop`; this
+module supplies the serving command table:
 
 =================== =========================== ===========================
 command             payload                     reply
@@ -22,73 +21,92 @@ command             payload                     reply
 driver can fold per-worker serving metrics — it never touches session
 state.
 
-Exceptions inside a command are caught and returned as ``("error",
-traceback)`` so the driver can re-raise them.  Unlike the rollout tier,
-serving sessions hold live connection state that cannot be replayed from a
-seed tree, so a crashed serving worker is a hard error rather than a
-restartable fault — the driver surfaces it and the operator's load balancer
-is expected to re-open the affected flows elsewhere.
+Exceptions inside a command come back as ``("error", traceback)`` so the
+driver can re-raise them.  Unlike the rollout tier, serving sessions hold
+live connection state that cannot be replayed from a seed tree, so a dead
+serving worker — whatever transport carried it — is a hard error rather
+than a restartable fault: the driver surfaces it and the operator's load
+balancer is expected to re-open the affected flows elsewhere.
 """
 
 from __future__ import annotations
 
 import traceback
-from typing import Callable
+from typing import Callable, Dict
 
-__all__ = ["serve_worker_main"]
+from ..distrib.transport import (
+    ForkPipeTransport,
+    Transport,
+    TransportError,
+    worker_command_loop,
+)
+
+__all__ = ["serve_handlers", "serve_worker_entry", "serve_worker_main"]
 
 
-def serve_worker_main(conn, server_factory: Callable[[int], object], worker_index: int) -> None:
-    """Entry point of a forked serving worker."""
+def serve_handlers(server) -> Dict[str, Callable[..., tuple]]:
+    """The serving command table over one :class:`PolicyServer`."""
+
+    def open_session(session_id: str, kwargs: dict) -> tuple:
+        server.open_session(session_id, **kwargs)
+        return ("ok", None)
+
+    def submit_many(frame) -> tuple:
+        for session_id, size, delay_ms in frame:
+            server.submit(session_id, size, delay_ms)
+        # The outbox is the single counting source: every command drains it,
+        # so each decision is reported exactly once even though flush() both
+        # returns decisions and outboxes them.
+        return ("result", len(server.take_decisions()))
+
+    def poll() -> tuple:
+        server.poll()
+        return ("result", len(server.take_decisions()))
+
+    def drain() -> tuple:
+        server.drain()
+        return ("result", len(server.take_decisions()))
+
+    def close_session(session_id: str) -> tuple:
+        return ("result", server.close_session(session_id))
+
+    def stats() -> tuple:
+        return ("result", server.stats())
+
+    def telemetry() -> tuple:
+        from .. import obs
+
+        return ("result", obs.take_snapshot())
+
+    return {
+        "open": open_session,
+        "submit_many": submit_many,
+        "poll": poll,
+        "drain": drain,
+        "close_session": close_session,
+        "stats": stats,
+        "telemetry": telemetry,
+    }
+
+
+def serve_worker_entry(
+    transport: Transport, server_factory: Callable[[int], object], worker_index: int
+) -> None:
+    """Transport-agnostic entry point of a serving worker."""
     try:
         server = server_factory(worker_index)
     except Exception:
         try:
-            conn.send(("error", traceback.format_exc()))
-        finally:
-            conn.close()
+            transport.send(("error", traceback.format_exc()))
+        except TransportError:
+            pass
+        transport.close()
         return
+    worker_command_loop(transport, serve_handlers(server))
 
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        command = message[0]
-        try:
-            if command == "open":
-                session_id, kwargs = message[1], message[2]
-                server.open_session(session_id, **kwargs)
-                conn.send(("ok", None))
-            elif command == "submit_many":
-                for session_id, size, delay_ms in message[1]:
-                    server.submit(session_id, size, delay_ms)
-                # The outbox is the single counting source: every command
-                # drains it, so each decision is reported exactly once even
-                # though flush() both returns decisions and outboxes them.
-                conn.send(("result", len(server.take_decisions())))
-            elif command == "poll":
-                server.poll()
-                conn.send(("result", len(server.take_decisions())))
-            elif command == "drain":
-                server.drain()
-                conn.send(("result", len(server.take_decisions())))
-            elif command == "close_session":
-                conn.send(("result", server.close_session(message[1])))
-            elif command == "stats":
-                conn.send(("result", server.stats()))
-            elif command == "telemetry":
-                from .. import obs
 
-                conn.send(("result", obs.take_snapshot()))
-            elif command == "close":
-                conn.send(("ok", None))
-                break
-            else:
-                conn.send(("error", f"unknown serve worker command {command!r}"))
-        except Exception:
-            try:
-                conn.send(("error", traceback.format_exc()))
-            except (BrokenPipeError, OSError):
-                break
-    conn.close()
+def serve_worker_main(
+    conn, server_factory: Callable[[int], object], worker_index: int
+) -> None:
+    """Forked-pipe entry point (kept for direct ``multiprocessing`` use)."""
+    serve_worker_entry(ForkPipeTransport(conn), server_factory, worker_index)
