@@ -201,3 +201,134 @@ def test_telemetry_overhead_within_gate():
         f"enabled-telemetry serving throughput dropped below the "
         f"{MAX_OVERHEAD:.0%} overhead gate: ratio {serve_ratio:.3f}"
     )
+
+
+# --------------------------------------------------------------------- #
+# Distributed leg: frame stamping + worker spans must also be ~free
+# --------------------------------------------------------------------- #
+DIST_TRACE_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs_trace_distributed.jsonl"
+DIST_WORKERS = 2
+DIST_TICKS = 16
+
+
+def _build_distributed_run():
+    """One deterministic 2-worker sharded collect (fresh engine per leg).
+
+    The engine is constructed inside ``run()`` so the telemetry flag set by
+    :func:`_paired` is inherited by the forked (or TCP-spawned) workers —
+    that is exactly the production path, and it means the enabled legs pay
+    the full cost under test: trace-context envelopes on every command
+    frame, per-command worker spans, and the end-of-run telemetry fold.
+    """
+    from repro.distrib import ShardedRolloutEngine
+    from repro.nn.serialization import state_dict_to_bytes
+    from repro.utils.rng import collection_seed_tree
+
+    data = prepare_experiment_data("tor", n_censored=24, n_benign=24, max_packets=16, rng=7)
+    censor = make_censor("DT", data, rng=8)
+    censor.fit(data.splits.clf_train.flows)
+    config = AmoebaConfig(
+        n_envs=2,
+        rollout_length=DIST_TICKS,
+        actor_hidden=(16,),
+        critic_hidden=(16,),
+        encoder_hidden=ENCODER_HIDDEN,
+        max_episode_steps=16,
+    )
+    flows = data.splits.attack_train.censored_flows
+
+    def run(return_engine: bool = False):
+        encoder = StateEncoder(
+            hidden_size=config.encoder_hidden,
+            num_layers=config.encoder_layers,
+            rng=np.random.default_rng(9),
+        )
+        agent = Amoeba(censor, data.normalizer, config, rng=10, state_encoder=encoder)
+        seed_tree = collection_seed_tree(agent._rng, config.n_envs)
+        engine = ShardedRolloutEngine.for_agent(agent, flows, seed_tree, DIST_WORKERS)
+        try:
+            engine.broadcast(state_dict_to_bytes(agent._policy_state()))
+            start = time.perf_counter()
+            engine.collect(DIST_TICKS)
+            elapsed = time.perf_counter() - start
+            if return_engine:
+                # Caller folds worker telemetry / scrapes before close.
+                return engine, config.n_envs * DIST_TICKS / elapsed
+        finally:
+            if not return_engine:
+                engine.close()
+        return config.n_envs * DIST_TICKS / elapsed
+
+    return run
+
+
+def test_distributed_telemetry_overhead_within_gate():
+    import urllib.request
+
+    run = _build_distributed_run()
+    ratio, off_all, on_all, ratios = _paired(run)
+
+    # One more instrumented run to archive: live /metrics scrape while the
+    # engine is still up, then the stitched cross-process span tree.
+    obs.enable()
+    obs.reset()
+    service = obs.serve_telemetry(port=0, rules=[], watchdog_interval_s=3600)
+    try:
+        engine, _ = run(return_engine=True)
+        try:
+            engine.stats()  # folds worker metrics + spans into the driver
+            scraped = urllib.request.urlopen(
+                service.url + "/metrics", timeout=10
+            ).read().decode("utf-8")
+        finally:
+            engine.close()
+    finally:
+        obs.shutdown_telemetry()
+    snapshot = obs.registry().snapshot()
+    spans = obs.tracer().records()
+    obs.disable()
+
+    assert "transport_frames_sent_total" in scraped, "live scrape missed transport metrics"
+    driver_ids = {record.span_id for record in spans if not record.name.startswith("worker.")}
+    worker_spans = [record for record in spans if record.name.startswith("worker.")]
+    assert worker_spans, "no worker spans were folded back to the driver"
+    assert all(record.parent_id in driver_ids for record in worker_spans), (
+        "worker spans did not stitch under driver command spans"
+    )
+    assert {record.meta.get("worker") for record in worker_spans} == {
+        str(index) for index in range(DIST_WORKERS)
+    }
+
+    DIST_TRACE_PATH.write_text("")
+    with obs.JsonlSink(DIST_TRACE_PATH) as sink:
+        sink.write_metrics(snapshot)
+        sink.write_spans(spans)
+
+    results = {}
+    if RESULTS_PATH.exists():  # merge with the single-process legs if present
+        results = json.loads(RESULTS_PATH.read_text())
+    results.setdefault("reps", REPS)
+    results.setdefault("max_overhead", MAX_OVERHEAD)
+    results["distributed"] = {
+        "workers": DIST_WORKERS,
+        "disabled_env_steps_per_s": round(max(off_all), 1),
+        "enabled_env_steps_per_s": round(max(on_all), 1),
+        "ratio": round(ratio, 4),
+        "pair_ratios": [round(r, 4) for r in ratios],
+        "disabled_legs": [round(x, 1) for x in off_all],
+        "enabled_legs": [round(x, 1) for x in on_all],
+        "trace_artifact": DIST_TRACE_PATH.name,
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(
+        f"\ndistributed telemetry overhead (best of {REPS} adjacent off/on pairs):\n"
+        f"  2-worker collect: best pair ratio {ratio:.3f} "
+        f"(pairs {[f'{r:.3f}' for r in ratios]})\n"
+        f"  stitched trace ({len(spans)} spans) written to {DIST_TRACE_PATH.name}"
+    )
+
+    assert ratio >= 1.0 - MAX_OVERHEAD, (
+        f"enabled-telemetry distributed collect throughput dropped below the "
+        f"{MAX_OVERHEAD:.0%} overhead gate: ratio {ratio:.3f}"
+    )

@@ -82,6 +82,7 @@ from .transport import (
     WorkerPool,
     encode_message,
     make_worker_pool,
+    traced_message,
 )
 
 __all__ = ["ShardedRolloutEngine", "MergedRollout"]
@@ -211,6 +212,9 @@ class ShardedRolloutEngine:
         self._last_heartbeat: List[Optional[float]] = [None] * n_workers
         self._worker_restarts: List[int] = [0] * n_workers
         self._worker_replayed: List[int] = [0] * n_workers
+        # Expose a scrape endpoint if REPRO_TELEMETRY_PORT asks for one
+        # (no-op otherwise; forked workers fail the duplicate bind quietly).
+        obs.maybe_serve_telemetry()
         self._workers: List[_WorkerHandle] = [
             self._spawn(index) for index in range(n_workers)
         ]
@@ -332,7 +336,11 @@ class ShardedRolloutEngine:
             raise ValueError("n_ticks must be >= 1")
         message = ("collect", int(n_ticks))
         self._log.append(message)
-        self._pending = self._send_all(message)
+        # The span covers the kick-off only (the driver is free until
+        # wait()), but the trace context it provides is stamped onto the
+        # outgoing frames, so worker-side collect spans stitch under it.
+        with obs.span("distrib.collect", n_ticks=int(n_ticks), workers=self._n_workers):
+            self._pending = self._send_all(message)
 
     def wait(self) -> MergedRollout:
         """Drain the in-flight :meth:`collect_async` and merge the segments.
@@ -379,24 +387,25 @@ class ShardedRolloutEngine:
         self._log.clear()
 
     def _collect_worker_telemetry(self) -> None:
-        """Fold every worker's metrics registry into the driver's (best effort).
+        """Fold every worker's metrics and spans into the driver's (best effort).
 
-        The ``telemetry`` command is deliberately *not* logged: it reads and
-        zeroes the worker's own obs registry and never touches runner state,
-        so replay determinism is unaffected.  A worker whose pipe is broken
-        is simply skipped — its metrics are recovered as fresh (empty) after
-        the next replay recovery, never restarted for telemetry's sake.
+        The ``__telemetry__`` control frame is deliberately *not* logged: it
+        drains the worker's own obs registry and finished-span ring and
+        never touches runner state, so replay determinism is unaffected.  A
+        worker whose pipe is broken is simply skipped — its telemetry is
+        recovered as fresh (empty) after the next replay recovery, never
+        restarted for telemetry's sake.
         """
         for handle in self._workers:
             try:
-                handle.conn.send(("telemetry",))
+                handle.conn.send(("__telemetry__",))
                 reply = handle.conn.recv()
             except TransportError:
                 continue
             self._last_heartbeat[handle.index] = time.monotonic()
             if reply[0] != "result":
                 continue
-            obs.merge_snapshot(reply[1], extra_labels={"worker": str(handle.index)})
+            obs.merge_worker_telemetry(reply[1], worker=handle.index)
 
     def close(self) -> None:
         """Shut all workers down (best effort; crashed workers are reaped)."""
@@ -481,7 +490,7 @@ class ShardedRolloutEngine:
         holds the original message tuple, sharing the same payload object).
         Returns the indices whose channel was already broken.
         """
-        frame = encode_message(message)
+        frame = encode_message(traced_message(message))
         failed: List[int] = []
         for handle in self._workers:
             try:
@@ -498,7 +507,8 @@ class ShardedRolloutEngine:
                 "a collect is in flight; call wait() before issuing new commands"
             )
         self._log.append(message)
-        return self._drain(self._send_all(message))
+        with obs.span("distrib." + str(message[0]), workers=self._n_workers):
+            return self._drain(self._send_all(message))
 
     def _drain(self, failed: List[int]) -> list:
         """Collect one reply per worker, replay-recovering the ``failed``
@@ -541,19 +551,19 @@ class ShardedRolloutEngine:
             try:
                 reply: Optional[tuple] = None
                 if self._snapshots is not None:
-                    handle.conn.send(("restore", self._snapshots[index]))
+                    handle.conn.send_command(("restore", self._snapshots[index]))
                     reply = handle.conn.recv()
                     if reply[0] == "error":
                         return reply
                 if self._last_payload is not None:
                     # Snapshots carry no weights; re-apply the last broadcast
                     # checkpoint (idempotent if the log replays a newer one).
-                    handle.conn.send(("load", self._last_payload))
+                    handle.conn.send_command(("load", self._last_payload))
                     reply = handle.conn.recv()
                     if reply[0] == "error":
                         return reply
                 for message in self._log:
-                    handle.conn.send(message)
+                    handle.conn.send_command(message)
                     reply = handle.conn.recv()
                     self._worker_replayed[index] += 1
                     obs.counter("distrib.worker_replayed", worker=str(index)).inc()

@@ -82,6 +82,9 @@ __all__ = [
     "make_worker_pool",
     "encode_message",
     "decode_message",
+    "TRACE_ENVELOPE",
+    "traced_message",
+    "untraced_message",
     "register_worker_entrypoint",
 ]
 
@@ -111,6 +114,46 @@ def decode_message(frame: bytes) -> tuple:
 
 
 # --------------------------------------------------------------------- #
+# Trace-context propagation
+# --------------------------------------------------------------------- #
+# Driver->worker commands may ride inside a trace envelope carrying the
+# sender's (trace_id, parent_span_id); the worker command loop unwraps it
+# and opens its command span as a child of the driver-side span, so folded
+# worker span batches stitch into one cross-process tree.  The envelope
+# exists ONLY when telemetry is enabled: with telemetry off,
+# traced_message() is the identity function and frame bytes are identical
+# to an untraced build (pinned by test).  Replies never carry envelopes.
+TRACE_ENVELOPE = "__traced__"
+
+
+def traced_message(message: tuple) -> tuple:
+    """Wrap a driver->worker command with the current trace context.
+
+    Returns ``(TRACE_ENVELOPE, trace_id, parent_span_id, message)`` when
+    telemetry is enabled — even with no span open (both ids ``None``), so
+    the worker still opens a root command span and ships it back.  Returns
+    ``message`` unchanged when telemetry is off: zero frame overhead, and
+    the wire format cannot drift for un-instrumented runs.
+    """
+    if not _obs_state.enabled:
+        return message
+    context = obs.trace_context()
+    trace_id, parent_span_id = context if context is not None else (None, None)
+    return (TRACE_ENVELOPE, trace_id, parent_span_id, message)
+
+
+def untraced_message(message: tuple) -> Tuple[tuple, Optional[int], Optional[int]]:
+    """Inverse of :func:`traced_message`.
+
+    Returns ``(command_message, trace_id, parent_span_id)``; the ids are
+    ``None`` for a bare (unenveloped) message.
+    """
+    if isinstance(message, tuple) and len(message) == 4 and message[0] == TRACE_ENVELOPE:
+        return message[3], message[1], message[2]
+    return message, None, None
+
+
+# --------------------------------------------------------------------- #
 # Transport interface + backends
 # --------------------------------------------------------------------- #
 class Transport:
@@ -122,6 +165,15 @@ class Transport:
     def send(self, message: tuple) -> None:
         """Serialize and ship one message tuple."""
         self.send_encoded(encode_message(message))
+
+    def send_command(self, message: tuple) -> None:
+        """Ship a driver->worker command, stamped with trace context.
+
+        Identical to :meth:`send` when telemetry is off (the envelope is
+        never added); drivers use this for commands, plain :meth:`send`
+        for everything else (replies, handshakes).
+        """
+        self.send_encoded(encode_message(traced_message(message)))
 
     def send_encoded(self, frame: bytes) -> None:
         """Ship an already-serialized frame (see engine broadcast reuse)."""
@@ -398,6 +450,13 @@ def worker_command_loop(
     * ``close`` answers ``close_reply`` (when not ``None``) and exits;
     * ``__ping__`` control frames are answered with ``__pong__`` (the
       driver-side liveness probe);
+    * ``__telemetry__`` control frames are answered with ``("result",
+      obs.take_worker_telemetry())`` — the combined metrics+span fold
+      payload, available from *every* worker without per-table handlers;
+    * a command that arrived inside a trace envelope (see
+      :func:`traced_message`) runs under a ``worker.<command>`` span
+      parented on the driver-side sender, closed before the reply ships —
+      the span reaches the driver in the next telemetry fold;
     * transports with a configured heartbeat start their sender here.
     """
     transport.start_heartbeat()
@@ -407,10 +466,17 @@ def worker_command_loop(
                 message = transport.recv()
             except TransportError:
                 break
+            message, trace_id, parent_span_id = untraced_message(message)
             command = message[0]
             if command == "__ping__":
                 try:
                     transport.send(("__pong__",))
+                except TransportError:
+                    break
+                continue
+            if command == "__telemetry__":
+                try:
+                    transport.send(("result", obs.take_worker_telemetry()))
                 except TransportError:
                     break
                 continue
@@ -426,7 +492,13 @@ def worker_command_loop(
                 if handler is None:
                     transport.send(("error", f"unknown worker command {command!r}"))
                     continue
-                transport.send(handler(*message[1:]))
+                # The span wraps handler execution only (not the reply
+                # send): it must be finished before take_worker_telemetry
+                # can ship it, and reply I/O time belongs to the driver's
+                # recv-side span anyway.
+                with obs.remote_span("worker." + str(command), trace_id, parent_span_id):
+                    reply = handler(*message[1:])
+                transport.send(reply)
             except TransportError:
                 break
             except Exception:

@@ -12,15 +12,17 @@ command      payload                 reply
 ``collect``   number of ticks         ``("result", ShardResult)``
 ``snapshot``  —                       ``("result", runner state dict)``
 ``restore``   runner state dict       ``("ok", None)``
-``telemetry`` —                       ``("result", obs registry snapshot)``
+``telemetry`` —                       ``("result", {"metrics", "spans"})``
 ``close``     —                       ``("ok", None)``, then exit
 ============ ======================= ==============================
 
-``telemetry`` is special: it reads (and zeroes) the worker's own metrics
-registry and never touches the runner, so the engine sends it *outside*
-the replay log — a restarted worker simply reports fresh (empty) metrics
-instead of replaying observations, and collection determinism is
-unaffected.
+``telemetry`` is special: it drains (and zeroes) the worker's own metrics
+registry and finished-span ring (``obs.take_worker_telemetry()``) and
+never touches the runner, so the engine sends it *outside* the replay
+log — a restarted worker simply reports fresh (empty) telemetry instead
+of replaying observations, and collection determinism is unaffected.
+(The transport loop's ``__telemetry__`` control frame returns the same
+payload for any worker; this table entry remains for direct callers.)
 
 Exceptions inside a command come back as ``("error", traceback)`` so the
 engine can re-raise them in the driver — only a broken transport (pipe
@@ -57,7 +59,7 @@ def rollout_handlers(runner) -> Dict[str, Callable[..., tuple]]:
     def telemetry() -> tuple:
         from .. import obs
 
-        return ("result", obs.take_snapshot())
+        return ("result", obs.take_worker_telemetry())
 
     return {
         "load": load,

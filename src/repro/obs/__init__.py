@@ -51,9 +51,24 @@ __all__ = [
     "gauge",
     "histogram",
     "span",
+    "remote_span",
+    "trace_context",
     "take_snapshot",
     "merge_snapshot",
+    "take_span_snapshot",
+    "merge_spans",
+    "take_worker_telemetry",
+    "merge_worker_telemetry",
     "summary_text",
+    "serve_telemetry",
+    "maybe_serve_telemetry",
+    "active_telemetry",
+    "shutdown_telemetry",
+    "TelemetryService",
+    "SloRule",
+    "SloAlert",
+    "SloWatchdog",
+    "default_slo_rules",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -152,9 +167,39 @@ def span(name: str, **meta: object):
     return _TRACER.start_span(name, meta)
 
 
+def remote_span(
+    name: str,
+    trace_id: Optional[int],
+    parent_span_id: Optional[int],
+    **meta: object,
+):
+    """Open a span under a *propagated* parent (trace-context stitching).
+
+    The worker side of distributed tracing: ``trace_id``/``parent_span_id``
+    arrived on a command envelope from the driver (see
+    :func:`repro.distrib.transport.traced_message`), so the span this opens
+    is a child of the driver-side span that sent the command — the two
+    halves join into one tree when the worker's span batch is folded back.
+    A no-op when telemetry is disabled, like :func:`span`.
+    """
+    if not _state.enabled:
+        return NULL_SPAN
+    return _TRACER.start_span(name, meta, parent_id=parent_span_id, trace_id=trace_id)
+
+
+def trace_context() -> Optional[tuple]:
+    """``(trace_id, span_id)`` of the innermost open span, or ``None``."""
+    return _TRACER.current_context()
+
+
 # --------------------------------------------------------------------------- #
 # Fork-boundary fold
 # --------------------------------------------------------------------------- #
+# Spans shipped per fold are bounded: the most recent batch wins, so a
+# worker that folded rarely ships a window, never an unbounded backlog.
+_SPAN_BATCH_LIMIT = 1024
+
+
 def take_snapshot() -> List[Dict[str, object]]:
     """Snapshot-and-zero the global registry (worker side of the fold)."""
     return _REGISTRY.take_snapshot()
@@ -165,6 +210,41 @@ def merge_snapshot(
 ) -> None:
     """Fold a worker snapshot into the global registry (driver side)."""
     _REGISTRY.merge_snapshot(entries, extra_labels=extra_labels)
+
+
+def take_span_snapshot(max_spans: Optional[int] = _SPAN_BATCH_LIMIT) -> List[Dict[str, object]]:
+    """Drain-and-zero the global span ring (worker side of the span fold)."""
+    return _TRACER.take_snapshot(max_spans=max_spans)
+
+
+def merge_spans(entries, extra_meta: Optional[Mapping[str, object]] = None) -> None:
+    """Fold a worker span batch into the global tracer ring (driver side)."""
+    _TRACER.ingest(entries, extra_meta=extra_meta)
+
+
+def take_worker_telemetry() -> Dict[str, object]:
+    """The combined worker-side fold payload: metrics snapshot + span batch.
+
+    This is what a worker's ``__telemetry__`` command replies with; both
+    halves drain-and-zero in place, so repeated folds never double-count a
+    counter or re-ship a span.
+    """
+    return {"metrics": take_snapshot(), "spans": take_span_snapshot()}
+
+
+def merge_worker_telemetry(payload, worker) -> None:
+    """Fold one worker's combined telemetry payload, labelled ``worker=<i>``.
+
+    Accepts the combined dict from :func:`take_worker_telemetry` or a bare
+    metrics snapshot list (the pre-span fold payload), so drivers and
+    workers can be upgraded independently.
+    """
+    label = str(worker)
+    if isinstance(payload, Mapping):
+        merge_snapshot(payload.get("metrics") or (), extra_labels={"worker": label})
+        merge_spans(payload.get("spans") or (), extra_meta={"worker": label})
+    else:
+        merge_snapshot(payload or (), extra_labels={"worker": label})
 
 
 # --------------------------------------------------------------------------- #
@@ -211,6 +291,18 @@ def summary_text(max_spans: int = 40) -> str:
     lines.append(render_spans(_TRACER.records(), max_spans=max_spans))
     return "\n".join(lines)
 
+
+# Imported after the module-level API above exists: the service and SLO
+# modules reach back into this package (registry(), tracer(), enabled())
+# lazily at request/evaluation time.
+from .service import (  # noqa: E402
+    TelemetryService,
+    active_telemetry,
+    maybe_serve_telemetry,
+    serve_telemetry,
+    shutdown_telemetry,
+)
+from .slo import SloAlert, SloRule, SloWatchdog, default_slo_rules  # noqa: E402
 
 # ``REPRO_TELEMETRY=1`` (or ``true``/``on``/``yes``) enables at import time;
 # forked workers inherit either the env var or the already-flipped flag.

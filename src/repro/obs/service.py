@@ -1,0 +1,219 @@
+"""Live telemetry service: ``/metrics``, ``/spans`` and ``/healthz`` over HTTP.
+
+A stdlib :mod:`http.server` on a daemon thread — no new dependencies, no
+impact on the recording paths (the exporters read immutable snapshots).
+Endpoints:
+
+``/metrics``
+    Prometheus text exposition of the global registry
+    (:func:`repro.obs.export.prometheus_text`), scrapeable by any
+    Prometheus-compatible collector or by ``repro-amoeba top``.
+``/spans``
+    JSON tail of the global span ring (``?n=`` bounds the tail,
+    default 256) — the stitched distributed trace, once worker batches
+    have been folded.
+``/healthz``
+    JSON health verdict from the service's SLO watchdog: HTTP 200 with
+    ``{"status": "ok"}`` while no rule fires, HTTP 503 with the active
+    alert list while one does.
+
+Start it with :func:`serve_telemetry` (one service per process; ``port=0``
+picks a free port) or implicitly via the ``REPRO_TELEMETRY_PORT``
+environment variable — :func:`maybe_serve_telemetry` is called by
+:class:`~repro.serve.server.PolicyServer`,
+:class:`~repro.distrib.sharded.ShardedRolloutEngine` and the CLI's
+``serve``/``attack`` commands, so exporting the variable is enough to get
+a scrape endpoint on any driver.  Forked workers inherit the variable too;
+their bind attempt fails on the occupied port and is deliberately
+swallowed — the *driver* owns the process-visible endpoint, folding worker
+telemetry into it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence
+from urllib.parse import parse_qs, urlparse
+
+from .slo import SloWatchdog
+
+__all__ = [
+    "TelemetryService",
+    "serve_telemetry",
+    "maybe_serve_telemetry",
+    "active_telemetry",
+    "shutdown_telemetry",
+]
+
+TELEMETRY_PORT_ENV = "REPRO_TELEMETRY_PORT"
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes the three endpoints; reads global obs state at request time."""
+
+    service: "TelemetryService"  # set per server instance via subclassing
+
+    # Silence the default stderr access log: the service rides inside
+    # benchmarks and tests where request noise would pollute output.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        from . import enabled, registry, tracer
+        from .export import prometheus_text
+
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/metrics":
+            body = prometheus_text(registry().snapshot()).encode("utf-8")
+            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif route == "/spans":
+            query = parse_qs(parsed.query)
+            try:
+                tail = int(query.get("n", ["256"])[0])
+            except ValueError:
+                tail = 256
+            records = tracer().records()
+            if tail > 0:
+                records = records[-tail:]
+            body = json.dumps(
+                {"spans": [record.as_dict() for record in records]}
+            ).encode("utf-8")
+            self._reply(200, body, "application/json")
+        elif route == "/healthz":
+            watchdog = self.service.watchdog
+            alerts = watchdog.active_alerts() if watchdog is not None else []
+            payload = {
+                "status": "ok" if not alerts else "alerting",
+                "telemetry_enabled": enabled(),
+                "alerts": [alert.as_dict() for alert in alerts],
+            }
+            body = json.dumps(payload).encode("utf-8")
+            self._reply(200 if not alerts else 503, body, "application/json")
+        else:
+            self._reply(404, b"not found\n", "text/plain; charset=utf-8")
+
+
+class TelemetryService:
+    """One process's scrape endpoint: HTTP server thread + SLO watchdog."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        watchdog: Optional[SloWatchdog] = None,
+    ) -> None:
+        handler = type("_BoundHandler", (_TelemetryHandler,), {"service": self})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self.watchdog = watchdog
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-telemetry-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        if self.watchdog is not None:
+            self.watchdog.start()
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "TelemetryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# One service per process: repeated serve_telemetry() calls return the live
+# instance instead of fighting over ports.
+_ACTIVE: Optional[TelemetryService] = None
+
+
+def serve_telemetry(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    rules: Optional[Sequence] = None,
+    watchdog_interval_s: float = 5.0,
+    sinks: Sequence = (),
+) -> TelemetryService:
+    """Start (or return) the process's telemetry service.
+
+    ``port=0`` binds an ephemeral port (see ``service.port``/``service.url``).
+    ``rules=None`` arms the stock :func:`~repro.obs.slo.default_slo_rules`
+    watchdog; pass an explicit (possibly empty) rule list to override.
+    ``sinks`` receive the watchdog's alert events.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None and not _ACTIVE.closed:
+        return _ACTIVE
+    watchdog = SloWatchdog(rules=rules, interval_s=watchdog_interval_s, sinks=sinks)
+    _ACTIVE = TelemetryService(port=port, host=host, watchdog=watchdog)
+    return _ACTIVE
+
+
+def maybe_serve_telemetry() -> Optional[TelemetryService]:
+    """Start the service from ``REPRO_TELEMETRY_PORT`` if set; never raises.
+
+    The implicit wiring used by driver constructors: a malformed value is
+    ignored, and a bind failure (the port is taken — typically a forked
+    worker inheriting the driver's env var) is swallowed so workers start
+    cleanly without the variable being scrubbed from their environment.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None and not _ACTIVE.closed:
+        return _ACTIVE
+    raw = os.environ.get(TELEMETRY_PORT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        port = int(raw)
+    except ValueError:
+        return None
+    try:
+        return serve_telemetry(port=port)
+    except OSError:
+        return None
+
+
+def active_telemetry() -> Optional[TelemetryService]:
+    """The live service instance, or ``None``."""
+    if _ACTIVE is not None and not _ACTIVE.closed:
+        return _ACTIVE
+    return None
+
+
+def shutdown_telemetry() -> None:
+    """Stop the process's telemetry service, if one is running."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+        _ACTIVE = None

@@ -110,7 +110,7 @@ class ShardedPolicyServer:
         if self._closed:
             raise RuntimeError("sharded server is closed")
         try:
-            self._conns[shard].send(message)
+            self._conns[shard].send_command(message)
             reply = self._conns[shard].recv()
         except TransportError as error:
             raise RuntimeError(
@@ -204,15 +204,15 @@ class ShardedPolicyServer:
                 else:
                     merged[key] = merged.get(key, 0) + value
             if _obs_state.enabled:
-                # Fold this shard's metrics registry into the driver's,
+                # Fold this shard's metrics and spans into the driver's,
                 # labelled by worker index (best effort, outside the merge
                 # above: registry series are telemetry, not the stats API).
                 try:
-                    entries = self._ask(shard, ("telemetry",))
+                    payload = self._ask(shard, ("__telemetry__",))
                 except RuntimeError:
-                    entries = None
-                if entries:
-                    obs.merge_snapshot(entries, extra_labels={"worker": str(shard)})
+                    payload = None
+                if payload:
+                    obs.merge_worker_telemetry(payload, worker=shard)
         now = time.monotonic()
         merged["worker_heartbeat_age_s"] = [
             None if beat is None else now - beat for beat in self._last_heartbeat

@@ -13,13 +13,13 @@ command             payload                     reply
 ``drain``           —                           ``("result", n_decisions)``
 ``close_session``   session_id                  ``("result", SessionReport)``
 ``stats``           —                           ``("result", stats dict)``
-``telemetry``       —                           ``("result", obs snapshot)``
+``telemetry``       —                           ``("result", {"metrics", "spans"})``
 ``close``           —                           ``("ok", None)``, then exit
 =================== =========================== ===========================
 
-``telemetry`` reads (and zeroes) the worker's own metrics registry so the
-driver can fold per-worker serving metrics — it never touches session
-state.
+``telemetry`` drains (and zeroes) the worker's own metrics registry and
+finished-span ring (``obs.take_worker_telemetry()``) so the driver can
+fold per-worker serving telemetry — it never touches session state.
 
 Exceptions inside a command come back as ``("error", traceback)`` so the
 driver can re-raise them.  Unlike the rollout tier, serving sessions hold
@@ -76,7 +76,7 @@ def serve_handlers(server) -> Dict[str, Callable[..., tuple]]:
     def telemetry() -> tuple:
         from .. import obs
 
-        return ("result", obs.take_snapshot())
+        return ("result", obs.take_worker_telemetry())
 
     return {
         "open": open_session,

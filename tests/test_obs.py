@@ -548,6 +548,54 @@ class TestShardedTelemetry:
         assert all(counter is not None for counter in per_worker)
         assert sum(counter.value for counter in per_worker) == 2 * config.rollout_length
 
+    def test_sharded_collect_identical_on_and_off(
+        self, trained_dt_censor, normalizer, tor_splits
+    ):
+        """Acceptance: tracing the frames never perturbs the science.
+
+        The same 2-worker sharded collect, with telemetry (and therefore
+        trace-context frame stamping) on versus off, must produce
+        bit-identical merged rollout arrays.
+        """
+        config = AmoebaConfig.for_tor(
+            n_envs=2,
+            rollout_length=4,
+            max_episode_steps=8,
+            encoder_hidden=ENCODER_HIDDEN,
+            actor_hidden=(16,),
+            critic_hidden=(16,),
+        )
+        flows = tor_splits.attack_train.censored_flows
+
+        def collect(enabled: bool):
+            if enabled:
+                obs.enable()  # before forking, so workers inherit the flag
+            else:
+                obs.disable()
+            obs.reset()
+            agent = Amoeba(
+                trained_dt_censor,
+                normalizer,
+                config,
+                rng=42,
+                encoder_pretrain_kwargs=dict(n_flows=10, max_length=10, epochs=1),
+            )
+            seed_tree = collection_seed_tree(agent._rng, config.n_envs)
+            engine = ShardedRolloutEngine.for_agent(agent, flows, seed_tree, 2)
+            try:
+                engine.broadcast(state_dict_to_bytes(agent._policy_state()))
+                result = engine.collect(config.rollout_length)
+            finally:
+                engine.close()
+                obs.disable()
+            return result
+
+        baseline = collect(False)
+        observed = collect(True)
+        for name in ("states", "actions", "log_probs", "values", "rewards", "dones"):
+            assert np.array_equal(getattr(observed, name), getattr(baseline, name)), name
+        assert np.array_equal(observed.final_states, baseline.final_states)
+
 
 # --------------------------------------------------------------------- #
 # CLI
@@ -587,3 +635,744 @@ class TestTelemetryCli:
         assert {event["type"] for event in events} == {"metrics", "spans"}
         assert "serve_decisions_total" in prom.read_text()
         assert not obs.enabled()  # the CLI disables telemetry on exit
+
+
+# --------------------------------------------------------------------- #
+# Distributed tracing: context propagation and stitched trees
+# --------------------------------------------------------------------- #
+class TestTraceContext:
+    def test_root_span_starts_its_own_trace(self):
+        obs.enable()
+        with obs.span("root"):
+            trace_id, span_id = obs.trace_context()
+        (record,) = obs.tracer().records()
+        assert record.trace_id == record.span_id == span_id == trace_id
+
+    def test_children_inherit_the_trace_id(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        records = {r.name: r for r in obs.tracer().records()}
+        assert records["inner"].trace_id == records["outer"].trace_id
+        assert records["inner"].trace_id == records["outer"].span_id
+
+    def test_trace_context_none_outside_spans(self):
+        obs.enable()
+        assert obs.trace_context() is None
+
+    def test_remote_span_keeps_propagated_parent_and_trace(self):
+        obs.enable()
+        with obs.remote_span("worker.collect", trace_id=77, parent_span_id=42):
+            pass
+        (record,) = obs.tracer().records()
+        assert record.trace_id == 77
+        assert record.parent_id == 42
+
+    def test_remote_span_without_context_becomes_a_root(self):
+        obs.enable()
+        with obs.remote_span("worker.collect", trace_id=None, parent_span_id=None):
+            pass
+        (record,) = obs.tracer().records()
+        assert record.parent_id is None
+        assert record.trace_id == record.span_id
+
+    def test_local_parent_wins_over_remote_context(self):
+        tracer = Tracer()
+        with tracer.start("local-parent"):
+            with tracer.start_span("child", {}, parent_id=999, trace_id=888):
+                pass
+        records = {r.name: r for r in tracer.records()}
+        assert records["child"].parent_id == records["local-parent"].span_id
+        assert records["child"].trace_id == records["local-parent"].trace_id
+
+    def test_span_ids_are_pid_prefixed(self):
+        import os as _os
+
+        tracer = Tracer()
+        with tracer.start("a"):
+            pass
+        (record,) = tracer.records()
+        assert record.span_id >> 32 == _os.getpid()
+
+    def test_take_snapshot_drains_in_place(self):
+        tracer = Tracer()
+        for name in ("a", "b", "c"):
+            with tracer.start(name):
+                pass
+        batch = tracer.take_snapshot()
+        assert [entry["name"] for entry in batch] == ["a", "b", "c"]
+        assert tracer.records() == []  # drained in place
+        assert tracer.take_snapshot() == []  # nothing re-shipped
+        # The tracer identity survives: new spans keep recording.
+        with tracer.start("d"):
+            pass
+        assert [r.name for r in tracer.records()] == ["d"]
+
+    def test_take_snapshot_bounds_the_batch_most_recent_wins(self):
+        tracer = Tracer()
+        for index in range(6):
+            with tracer.start(f"s{index}"):
+                pass
+        batch = tracer.take_snapshot(max_spans=2)
+        assert [entry["name"] for entry in batch] == ["s4", "s5"]
+        assert tracer.records() == []
+
+    def test_ingest_applies_extra_meta_and_skips_histograms(self):
+        obs.enable()
+        worker = Tracer()
+        with worker.start("worker.collect"):
+            pass
+        obs.merge_spans(worker.take_snapshot(), extra_meta={"worker": "1"})
+        (record,) = obs.tracer().records()
+        assert record.name == "worker.collect"
+        assert record.meta["worker"] == "1"
+        # Ingest bypasses on_finish: worker histograms arrive via the
+        # metrics fold, never from re-observing folded spans.
+        assert obs.registry().get("span.worker.collect") is None
+
+    def test_span_record_dict_round_trip(self):
+        from repro.obs.trace import SpanRecord
+
+        tracer = Tracer()
+        with tracer.start_span("x", {"k": 1}, parent_id=5, trace_id=9):
+            pass
+        (record,) = tracer.records()
+        clone = SpanRecord.from_dict(record.as_dict())
+        assert clone.as_dict() == record.as_dict()
+
+    def test_render_spans_stitches_cross_process_parents(self):
+        from repro.obs.trace import SpanRecord
+
+        driver = SpanRecord(
+            span_id=1, parent_id=None, name="distrib.collect", depth=0,
+            start_s=0.0, duration_ms=5.0, trace_id=1,
+        )
+        workers = [
+            SpanRecord(
+                span_id=100 + index, parent_id=1, name="worker.collect", depth=0,
+                start_s=0.1, duration_ms=4.0, meta={"worker": str(index)}, trace_id=1,
+            )
+            for index in range(2)
+        ]
+        text = render_spans([driver, *workers])
+        lines = text.splitlines()
+        assert lines[0].startswith("distrib.collect")
+        assert lines[1].startswith("  worker.collect") and "worker=0" in lines[1]
+        assert lines[2].startswith("  worker.collect") and "worker=1" in lines[2]
+
+
+class TestTracedFrames:
+    def test_frames_byte_identical_when_telemetry_off(self):
+        from repro.distrib import transport as transport_mod
+
+        class Capture(transport_mod.Transport):
+            def __init__(self):
+                self.frames = []
+
+            def send_encoded(self, frame):
+                self.frames.append(frame)
+
+        capture = Capture()
+        message = ("collect", 16)
+        capture.send_command(message)
+        # With telemetry off the command frame is exactly the pre-tracing
+        # encoding: no envelope, no extra bytes on the wire.
+        assert capture.frames == [transport_mod.encode_message(message)]
+        assert transport_mod.traced_message(message) is message
+
+    def test_envelope_rides_the_frame_when_telemetry_on(self):
+        from repro.distrib import transport as transport_mod
+
+        class Capture(transport_mod.Transport):
+            def __init__(self):
+                self.frames = []
+
+            def send_encoded(self, frame):
+                self.frames.append(frame)
+
+        obs.enable()
+        capture = Capture()
+        with obs.span("driver.step"):
+            context = obs.trace_context()
+            capture.send_command(("collect", 16))
+        shipped = transport_mod.decode_message(capture.frames[0])
+        assert shipped[0] == transport_mod.TRACE_ENVELOPE
+        message, trace_id, parent_id = transport_mod.untraced_message(shipped)
+        assert message == ("collect", 16)
+        assert (trace_id, parent_id) == context
+
+    def test_envelope_without_open_span_carries_none_ids(self):
+        from repro.distrib import transport as transport_mod
+
+        obs.enable()
+        wrapped = transport_mod.traced_message(("snapshot",))
+        message, trace_id, parent_id = transport_mod.untraced_message(wrapped)
+        assert message == ("snapshot",)
+        assert trace_id is None and parent_id is None
+
+    def test_untraced_message_passes_bare_messages_through(self):
+        from repro.distrib.transport import untraced_message
+
+        assert untraced_message(("collect", 4)) == (("collect", 4), None, None)
+
+
+class _ScriptedTransport:
+    """In-memory transport: scripted incoming frames, captured replies."""
+
+    kind = "scripted"
+
+    def __init__(self, messages):
+        from repro.distrib.transport import TransportError
+
+        self._incoming = list(messages)
+        self._error = TransportError
+        self.sent = []
+        self.closed = False
+
+    def start_heartbeat(self):
+        pass
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def recv(self):
+        if not self._incoming:
+            raise self._error("script exhausted")
+        return self._incoming.pop(0)
+
+    def close(self):
+        self.closed = True
+
+
+class TestWorkerCommandLoopTracing:
+    def test_traced_command_opens_a_child_span(self):
+        from repro.distrib.transport import TRACE_ENVELOPE, worker_command_loop
+
+        obs.enable()
+        transport = _ScriptedTransport(
+            [(TRACE_ENVELOPE, 70, 7, ("work", 3)), ("close",)]
+        )
+        worker_command_loop(transport, {"work": lambda n: ("result", n * 2)})
+        assert ("result", 6) in transport.sent
+        records = [r for r in obs.tracer().records() if r.name == "worker.work"]
+        (record,) = records
+        assert record.parent_id == 7
+        assert record.trace_id == 70
+
+    def test_bare_command_still_works_and_opens_no_span_when_off(self):
+        from repro.distrib.transport import worker_command_loop
+
+        transport = _ScriptedTransport([("work", 5), ("close",)])
+        worker_command_loop(transport, {"work": lambda n: ("result", n + 1)})
+        assert ("result", 6) in transport.sent
+        assert obs.tracer().records() == []
+
+    def test_builtin_telemetry_command(self):
+        from repro.distrib.transport import worker_command_loop
+
+        obs.enable()
+        obs.counter("collect.ticks").inc(4)
+        transport = _ScriptedTransport([("__telemetry__",), ("close",)])
+        worker_command_loop(transport, {})
+        kind, payload = transport.sent[0]
+        assert kind == "result"
+        assert {entry["name"] for entry in payload["metrics"]} >= {"collect.ticks"}
+        assert isinstance(payload["spans"], list)
+
+    def test_error_reply_still_sent_and_span_records_the_failure(self):
+        from repro.distrib.transport import TRACE_ENVELOPE, worker_command_loop
+
+        obs.enable()
+
+        def boom():
+            raise ValueError("no")
+
+        transport = _ScriptedTransport([(TRACE_ENVELOPE, 1, 1, ("boom",)), ("close",)])
+        worker_command_loop(transport, {"boom": boom})
+        assert transport.sent[0][0] == "error"
+        (record,) = [r for r in obs.tracer().records() if r.name == "worker.boom"]
+        assert record.error == "ValueError"
+
+
+def _stitch_echo_factory(index):
+    class Runner:
+        def load_weights(self, payload):
+            self.payload = payload
+
+        def collect(self, n_ticks):
+            return index * 100 + n_ticks
+
+        def snapshot(self):
+            return {"index": index}
+
+        def restore(self, state):
+            pass
+
+    return Runner()
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="requires POSIX fork")
+class TestDistributedStitching:
+    @pytest.mark.parametrize("transport", ["fork", "tcp"])
+    def test_two_worker_tree_has_worker_children_per_command(self, transport):
+        obs.enable()
+        engine = ShardedRolloutEngine(_stitch_echo_factory, 2, transport=transport)
+        try:
+            engine.broadcast(b"weights")
+            engine._command(("collect", 3))
+            engine._command(("snapshot",))
+            engine._collect_worker_telemetry()
+        finally:
+            engine.close()
+        records = obs.tracer().records()
+        driver_ids = {r.span_id for r in records if r.name.startswith("distrib.")}
+        driver_names = {r.name for r in records if r.name.startswith("distrib.")}
+        assert driver_names >= {"distrib.load", "distrib.collect", "distrib.snapshot"}
+        workers = [r for r in records if r.name.startswith("worker.")]
+        # Every dispatched command produced one child span per worker,
+        # parented on the driver-side span that sent it.
+        by_name = {}
+        for record in workers:
+            by_name.setdefault(record.name, set()).add(record.meta.get("worker"))
+            assert record.parent_id in driver_ids, record.name
+        assert by_name["worker.load"] == {"0", "1"}
+        assert by_name["worker.collect"] == {"0", "1"}
+        assert by_name["worker.snapshot"] == {"0", "1"}
+        # One stitched tree per driver command: render places the worker
+        # spans beneath their driver parents.
+        text = render_spans(records)
+        assert "  worker.collect" in text
+
+
+# --------------------------------------------------------------------- #
+# JsonlSink rotation
+# --------------------------------------------------------------------- #
+class TestJsonlRotation:
+    def test_unbounded_by_default(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.JsonlSink(path) as sink:
+            for _ in range(50):
+                sink.write_metrics([{"kind": "counter", "name": "c", "labels": {}, "value": 1.0}])
+        assert len(obs.read_jsonl(path)) == 50
+        assert not (tmp_path / "events.jsonl.1").exists()
+
+    def test_rotation_bounds_size_and_keeps_n_files(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        event = [{"kind": "counter", "name": "c", "labels": {}, "value": 1.0}]
+        with obs.JsonlSink(path, max_bytes=400, keep_files=2) as sink:
+            for _ in range(60):
+                sink.write_metrics(event)
+        import os as _os
+
+        assert _os.path.getsize(path) <= 400
+        rotated = sorted(p.name for p in tmp_path.iterdir())
+        assert rotated == ["events.jsonl", "events.jsonl.1", "events.jsonl.2"]
+        # No event was torn: every file is valid JSONL, and the total
+        # retained history is bounded.
+        total = sum(len(obs.read_jsonl(p)) for p in tmp_path.iterdir())
+        assert 0 < total < 60
+
+    def test_rotated_files_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.JsonlSink(path, max_bytes=300, keep_files=3) as sink:
+            for index in range(30):
+                sink.write_metrics(
+                    [{"kind": "counter", "name": f"c{index}", "labels": {}, "value": 1.0}]
+                )
+        for rotated in tmp_path.iterdir():
+            for event in obs.read_jsonl(rotated):
+                assert event["type"] == "metrics"
+
+    def test_write_alerts_event(self, tmp_path):
+        from repro.obs.slo import SloAlert
+
+        path = tmp_path / "events.jsonl"
+        with obs.JsonlSink(path) as sink:
+            sink.write_alerts(
+                [SloAlert(rule="r", kind="counter", metric="m", value=2.0, threshold=1.0)]
+            )
+        (event,) = obs.read_jsonl(path)
+        assert event["type"] == "alerts"
+        assert event["alerts"][0]["rule"] == "r"
+        assert "exceeds" in event["alerts"][0]["message"]
+
+    def test_bad_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            obs.JsonlSink(tmp_path / "x.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            obs.JsonlSink(tmp_path / "x.jsonl", max_bytes=10, keep_files=0)
+
+
+# --------------------------------------------------------------------- #
+# Prometheus conformance
+# --------------------------------------------------------------------- #
+class TestPrometheusConformance:
+    def test_labelled_histogram_round_trips(self):
+        obs.enable()
+        hist = obs.histogram("transport.heartbeat_rtt_ms", transport="tcp")
+        for value in (0.5, 2.0, 2.0, 40.0):
+            hist.observe(value)
+        text = obs.prometheus_text(obs.registry().snapshot())
+        series = obs.parse_prometheus_text(text)
+        base = "transport_heartbeat_rtt_ms"
+        assert series[f'{base}_sum{{transport="tcp"}}'] == pytest.approx(44.5)
+        assert series[f'{base}_count{{transport="tcp"}}'] == 4
+        bucket_lines = [
+            (key, value) for key, value in series.items() if key.startswith(f"{base}_bucket")
+        ]
+        assert bucket_lines, "no le bucket lines rendered"
+        # Buckets are cumulative and end at +Inf == _count.
+        inf_key = next(key for key, _ in bucket_lines if 'le="+Inf"' in key)
+        assert series[inf_key] == 4
+        finite = sorted(
+            (float(key.split('le="', 1)[1].split('"')[0]), value)
+            for key, value in bucket_lines
+            if 'le="+Inf"' not in key
+        )
+        counts = [value for _, value in finite]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts[-1] <= 4
+
+    def test_counter_and_gauge_round_trip(self):
+        obs.counter("serve.decisions", server="0").inc(7)
+        obs.gauge("serve.queue_depth", server="0").set(3)
+        series = obs.parse_prometheus_text(obs.prometheus_text(obs.registry().snapshot()))
+        assert series['serve_decisions_total{server="0"}'] == 7
+        assert series['serve_queue_depth{server="0"}'] == 3
+
+    def test_live_scrape_matches_in_process_snapshot(self):
+        import urllib.request
+
+        obs.enable()
+        obs.counter("serve.decisions").inc(11)
+        obs.histogram("serve.flush_size").observe(4.0)
+        service = obs.serve_telemetry(port=0, rules=[], watchdog_interval_s=3600)
+        try:
+            scraped = urllib.request.urlopen(service.url + "/metrics", timeout=5).read()
+            expected = obs.prometheus_text(obs.registry().snapshot())
+            assert scraped.decode("utf-8") == expected
+        finally:
+            obs.shutdown_telemetry()
+
+
+# --------------------------------------------------------------------- #
+# Telemetry service endpoints
+# --------------------------------------------------------------------- #
+class TestTelemetryService:
+    def _get(self, url):
+        import json as _json
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(url, timeout=5) as response:
+                return response.status, _json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, _json.loads(error.read())
+
+    def test_spans_endpoint_tails_the_ring(self):
+        obs.enable()
+        for index in range(5):
+            with obs.span(f"step-{index}"):
+                pass
+        service = obs.serve_telemetry(port=0, rules=[], watchdog_interval_s=3600)
+        try:
+            status, payload = self._get(service.url + "/spans?n=2")
+            assert status == 200
+            assert [span["name"] for span in payload["spans"]] == ["step-3", "step-4"]
+        finally:
+            obs.shutdown_telemetry()
+
+    def test_healthz_flips_to_503_when_a_rule_fires(self):
+        from repro.obs import SloRule
+
+        obs.enable()
+        rule = SloRule(name="restarts", kind="counter", metric="distrib.worker_restarts", threshold=0.0)
+        service = obs.serve_telemetry(port=0, rules=[rule], watchdog_interval_s=3600)
+        try:
+            status, payload = self._get(service.url + "/healthz")
+            assert (status, payload["status"]) == (200, "ok")
+            obs.counter("distrib.worker_restarts", worker="0").inc()
+            service.watchdog.evaluate()
+            status, payload = self._get(service.url + "/healthz")
+            assert (status, payload["status"]) == (503, "alerting")
+            assert payload["alerts"][0]["rule"] == "restarts"
+        finally:
+            obs.shutdown_telemetry()
+
+    def test_unknown_route_is_404_and_service_is_singleton(self):
+        import urllib.error
+        import urllib.request
+
+        service = obs.serve_telemetry(port=0, rules=[], watchdog_interval_s=3600)
+        try:
+            assert obs.serve_telemetry(port=0) is service
+            assert obs.active_telemetry() is service
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(service.url + "/nope", timeout=5)
+            assert err.value.code == 404
+        finally:
+            obs.shutdown_telemetry()
+        assert obs.active_telemetry() is None
+
+    def test_maybe_serve_telemetry_reads_the_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_PORT", "0")
+        try:
+            service = obs.maybe_serve_telemetry()
+            assert service is not None and service.port > 0
+            # Repeated calls (engine + server constructors) reuse it.
+            assert obs.maybe_serve_telemetry() is service
+        finally:
+            obs.shutdown_telemetry()
+
+    def test_maybe_serve_telemetry_tolerates_absence_and_garbage(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY_PORT", raising=False)
+        assert obs.maybe_serve_telemetry() is None
+        monkeypatch.setenv("REPRO_TELEMETRY_PORT", "not-a-port")
+        assert obs.maybe_serve_telemetry() is None
+
+    def test_maybe_serve_telemetry_swallows_bind_conflicts(self, monkeypatch):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        monkeypatch.setenv("REPRO_TELEMETRY_PORT", str(port))
+        try:
+            # The forked-worker case: the port is taken, so the helper
+            # declines quietly instead of crashing the worker.
+            assert obs.maybe_serve_telemetry() is None
+        finally:
+            blocker.close()
+            obs.shutdown_telemetry()
+
+
+# --------------------------------------------------------------------- #
+# SLO watchdog
+# --------------------------------------------------------------------- #
+class TestSloWatchdog:
+    def test_ratio_rule_suppressed_below_min_events(self):
+        from repro.obs.slo import SloRule, evaluate_rule
+
+        rule = SloRule(
+            name="miss-rate", kind="ratio", metric="serve.deadline_misses",
+            denominator="serve.decisions", threshold=0.2, min_events=20,
+        )
+        obs.counter("serve.decisions").inc(10)
+        obs.counter("serve.deadline_misses").inc(9)
+        assert evaluate_rule(rule, obs.registry()) is None  # not enough data
+        obs.counter("serve.decisions").inc(10)
+        alert = evaluate_rule(rule, obs.registry())
+        assert alert is not None and alert.value == pytest.approx(0.45)
+
+    def test_ratio_folds_across_label_sets(self):
+        from repro.obs.slo import SloRule, evaluate_rule
+
+        rule = SloRule(
+            name="miss-rate", kind="ratio", metric="serve.deadline_misses",
+            denominator="serve.decisions", threshold=0.2, min_events=1,
+        )
+        obs.counter("serve.decisions", server="0").inc(50)
+        obs.counter("serve.decisions", server="1").inc(50)
+        obs.counter("serve.deadline_misses", server="1").inc(30)
+        alert = evaluate_rule(rule, obs.registry())
+        assert alert is not None and alert.value == pytest.approx(0.3)
+
+    def test_percentile_rule_on_histograms(self):
+        from repro.obs.slo import SloRule, evaluate_rule
+
+        rule = SloRule(
+            name="rtt", kind="percentile", metric="transport.heartbeat_rtt_ms",
+            percentile=99.0, threshold=250.0, min_events=8,
+        )
+        hist = obs.histogram("transport.heartbeat_rtt_ms", transport="tcp")
+        for _ in range(10):
+            hist.observe(1.0)
+        assert evaluate_rule(rule, obs.registry()) is None
+        for _ in range(10):
+            hist.observe(5000.0)
+        alert = evaluate_rule(rule, obs.registry())
+        assert alert is not None and alert.value > 250.0
+
+    def test_counter_and_gauge_rules(self):
+        from repro.obs.slo import SloRule, evaluate_rule
+
+        restarts = SloRule(name="r", kind="counter", metric="distrib.worker_restarts", threshold=0.0)
+        queue = SloRule(name="q", kind="gauge", metric="serve.queue_depth", threshold=512.0)
+        assert evaluate_rule(restarts, obs.registry()) is None  # no series yet
+        assert evaluate_rule(queue, obs.registry()) is None
+        obs.counter("distrib.worker_restarts", worker="1").inc()
+        obs.gauge("serve.queue_depth", server="0").set(600)
+        assert evaluate_rule(restarts, obs.registry()).value == 1.0
+        assert evaluate_rule(queue, obs.registry()).value == 600.0
+
+    def test_bad_rules_rejected(self):
+        from repro.obs.slo import SloRule
+
+        with pytest.raises(ValueError):
+            SloRule(name="x", kind="median", metric="m", threshold=1.0)
+        with pytest.raises(ValueError):
+            SloRule(name="x", kind="ratio", metric="m", threshold=1.0)
+
+    def test_watchdog_emits_only_on_transitions(self, tmp_path):
+        from repro.obs import SloRule, SloWatchdog
+
+        sink = obs.JsonlSink(tmp_path / "alerts.jsonl")
+        watchdog = SloWatchdog(
+            rules=[SloRule(name="restarts", kind="counter", metric="distrib.worker_restarts", threshold=0.0)],
+            sinks=[sink],
+        )
+        assert watchdog.evaluate() == [] and watchdog.ok()
+        obs.counter("distrib.worker_restarts").inc()
+        assert len(watchdog.evaluate()) == 1 and not watchdog.ok()
+        # Still firing: no duplicate sink event, no second counter bump.
+        watchdog.evaluate()
+        watchdog.evaluate()
+        sink.close()
+        events = obs.read_jsonl(tmp_path / "alerts.jsonl")
+        assert len(events) == 1
+        assert obs.registry().get("obs.alerts", rule="restarts").value == 1.0
+
+    def test_watchdog_refires_after_recovery(self):
+        from repro.obs import SloRule, SloWatchdog
+
+        gauge = obs.gauge("serve.queue_depth")
+        watchdog = SloWatchdog(
+            rules=[SloRule(name="q", kind="gauge", metric="serve.queue_depth", threshold=10.0)]
+        )
+        gauge.set(20)
+        assert len(watchdog.evaluate()) == 1
+        gauge.set(5)
+        assert watchdog.evaluate() == [] and watchdog.ok()
+        gauge.set(20)
+        assert len(watchdog.evaluate()) == 1
+        assert obs.registry().get("obs.alerts", rule="q").value == 2.0
+
+    def test_default_rules_cover_the_documented_slos(self):
+        from repro.obs import default_slo_rules
+
+        rules = {rule.name: rule for rule in default_slo_rules()}
+        assert set(rules) == {
+            "deadline-miss-rate", "heartbeat-rtt-p99", "worker-restarts", "queue-depth",
+        }
+        assert rules["deadline-miss-rate"].kind == "ratio"
+        assert rules["heartbeat-rtt-p99"].kind == "percentile"
+
+    def test_start_stop_thread(self):
+        from repro.obs import SloWatchdog
+
+        watchdog = SloWatchdog(rules=[], interval_s=0.01)
+        watchdog.start()
+        assert watchdog.start() is watchdog  # idempotent
+        watchdog.stop()
+        assert watchdog._thread is None
+
+
+# --------------------------------------------------------------------- #
+# repro-amoeba top
+# --------------------------------------------------------------------- #
+class TestTop:
+    def test_render_top_rates_from_successive_samples(self):
+        from repro.obs.top import render_top
+
+        first = {"serve_decisions_total": 100.0, "transport_frames_sent_total": 10.0}
+        second = {"serve_decisions_total": 300.0, "transport_frames_sent_total": 30.0}
+        frame = render_top(second, first, elapsed_s=2.0)
+        assert "decisions" in frame
+        assert "(100/s)" in frame  # (300-100)/2
+        assert "(10/s)" in frame
+
+    def test_bucket_quantile_from_exposition_lines(self):
+        from repro.obs.top import bucket_quantile
+
+        series = {
+            'transport_heartbeat_rtt_ms_bucket{le="1"}': 5.0,
+            'transport_heartbeat_rtt_ms_bucket{le="10"}': 9.0,
+            'transport_heartbeat_rtt_ms_bucket{le="+Inf"}': 10.0,
+        }
+        assert bucket_quantile(series, "transport_heartbeat_rtt_ms", 50.0) == 1.0
+        assert bucket_quantile(series, "transport_heartbeat_rtt_ms", 90.0) == 10.0
+        assert bucket_quantile({}, "transport_heartbeat_rtt_ms", 99.0) == 0.0
+
+    def test_run_top_polls_and_survives_scrape_failures(self):
+        from repro.obs.top import run_top
+
+        samples = [
+            OSError("not up yet"),
+            {"serve_decisions_total": 5.0},
+            {"serve_decisions_total": 9.0},
+        ]
+
+        def fetch(url):
+            sample = samples.pop(0)
+            if isinstance(sample, Exception):
+                raise sample
+            return sample
+
+        frames = []
+        rendered = run_top(
+            "http://x/metrics", interval_s=0.0, iterations=3, fetch=fetch,
+            out=frames.append, clear=False,
+        )
+        assert rendered == 2
+        assert "failed" in frames[0]
+        assert frames[1].startswith("repro-amoeba top")
+
+    def test_run_top_against_a_live_service(self):
+        from repro.obs.top import run_top
+
+        obs.enable()
+        obs.counter("serve.decisions").inc(42)
+        service = obs.serve_telemetry(port=0, rules=[], watchdog_interval_s=3600)
+        frames = []
+        try:
+            rendered = run_top(
+                service.url + "/metrics", interval_s=0.0, iterations=1,
+                out=frames.append, clear=False,
+            )
+        finally:
+            obs.shutdown_telemetry()
+        assert rendered == 1
+        assert "42" in frames[0]
+
+
+class TestTopCli:
+    def test_parser_accepts_port_and_url(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["top", "--port", "9100", "--iterations", "2"])
+        assert args.port == 9100 and args.iterations == 2 and args.interval == 1.0
+        args = build_parser().parse_args(["top", "--url", "http://h:1/metrics"])
+        assert args.url == "http://h:1/metrics"
+
+    def test_serve_and_attack_accept_telemetry_port(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--policy", "p.npz", "--telemetry-port", "0"])
+        assert args.telemetry_port == 0
+        args = build_parser().parse_args(["attack", "--telemetry-port", "9100"])
+        assert args.telemetry_port == 9100
+
+    def test_top_command_against_live_service(self, capsys):
+        from repro.cli import main
+
+        obs.enable()
+        obs.counter("serve.decisions").inc(7)
+        service = obs.serve_telemetry(port=0, rules=[], watchdog_interval_s=3600)
+        try:
+            code = main([
+                "top", "--url", service.url + "/metrics",
+                "--iterations", "1", "--interval", "0",
+            ])
+        finally:
+            obs.shutdown_telemetry()
+        assert code == 0
+        assert "repro-amoeba top" in capsys.readouterr().out
+
+    def test_top_needs_a_target(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["top"])
